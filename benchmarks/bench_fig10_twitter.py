@@ -1,0 +1,64 @@
+"""Figure 10: the Twitter micro-hybrid benchmark (Q1–Q10), original vs HADAD.
+
+The synthetic Twitter-like dataset replaces the 16 GB crawl; three sizes of
+the ultra-sparse matrix N are produced by varying the text-selection
+predicate, mirroring Figures 10(a)-(c).
+"""
+
+import pytest
+
+from repro.backends.base import values_allclose
+from repro.benchkit.hybrid_queries import hybrid_queries, hybrid_views
+from repro.benchkit.harness import materialize_views
+from repro.data.datasets import twitter_dataset
+from repro.hybrid import HybridExecutor, HybridOptimizer
+
+N_TWEETS = 8_000
+N_HASHTAGS = 300
+
+
+@pytest.fixture(scope="module")
+def twitter_env():
+    catalog, spec = twitter_dataset(n_tweets=N_TWEETS, n_hashtags=N_HASHTAGS, density=0.002)
+    queries = hybrid_queries(catalog, spec, dataset="twitter")
+    executor = HybridExecutor(catalog)
+    # Materialize M and N once (the shared Q_RA part) plus the Morpheus factors
+    # and the hybrid views, as the paper does offline.
+    for builder in queries[0].builders:
+        executor.build_matrix(builder)
+    optimizer = HybridOptimizer(catalog)
+    optimizer.ensure_factor_matrices(queries[0])
+    views = hybrid_views(catalog)
+    materialize_views(views, catalog)
+    optimizer_with_views = HybridOptimizer(catalog, la_views=views)
+    return catalog, queries, executor, optimizer_with_views
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_original_qla(benchmark, twitter_env, index):
+    _, queries, executor, _ = twitter_env
+    query = queries[index]
+    benchmark(executor.la_backend.evaluate, query.analysis)
+
+
+@pytest.mark.parametrize("index", range(10))
+def test_rewritten_qla(benchmark, twitter_env, index):
+    _, queries, executor, optimizer = twitter_env
+    query = queries[index]
+    rewritten = optimizer.rewrite(query).optimized_analysis
+    benchmark(executor.la_backend.evaluate, rewritten)
+
+
+def test_fig10_report(twitter_env):
+    _, queries, executor, optimizer = twitter_env
+    print("\nquery  QLA(ms)  RWLA(ms)  RWfind(ms)  speedup")
+    for query in queries:
+        result = optimizer.rewrite(query)
+        original = executor.la_backend.timed(query.analysis)
+        rewritten = executor.la_backend.timed(result.optimized_analysis)
+        assert values_allclose(original.value, rewritten.value, rtol=1e-4, atol=1e-5)
+        speedup = original.seconds / rewritten.seconds if rewritten.seconds > 0 else float("inf")
+        print(
+            f"{query.name:5s} {original.seconds * 1e3:8.2f} {rewritten.seconds * 1e3:9.2f} "
+            f"{result.rewrite_seconds * 1e3:10.2f} {speedup:8.2f}x"
+        )

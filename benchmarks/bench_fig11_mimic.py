@@ -1,0 +1,56 @@
+"""Figure 11: the MIMIC micro-hybrid benchmark (Q1–Q10), original vs HADAD.
+
+The synthetic MIMIC-like dataset replaces the clinical database; the three
+care-unit selections ("CCU", "TSICU", "MICU") shrink the ultra-sparse matrix
+N as in Figures 11(a)-(c).
+"""
+
+import pytest
+
+from repro.backends.base import values_allclose
+from repro.benchkit.hybrid_queries import hybrid_queries
+from repro.data.datasets import mimic_dataset
+from repro.hybrid import HybridExecutor, HybridOptimizer
+
+N_PATIENTS = 2_000
+N_SERVICES = 400
+
+
+@pytest.fixture(scope="module", params=["CCU", "TSICU"])
+def mimic_env(request):
+    catalog, spec = mimic_dataset(n_patients=N_PATIENTS, n_services=N_SERVICES, density=0.002)
+    queries = hybrid_queries(catalog, spec, dataset="mimic", care_unit=request.param)
+    executor = HybridExecutor(catalog)
+    for builder in queries[0].builders:
+        executor.build_matrix(builder)
+    optimizer = HybridOptimizer(catalog)
+    optimizer.ensure_factor_matrices(queries[0])
+    return catalog, queries, executor, optimizer, request.param
+
+
+@pytest.mark.parametrize("index", [0, 2, 4, 7, 9])
+def test_original_qla(benchmark, mimic_env, index):
+    _, queries, executor, _, _ = mimic_env
+    benchmark(executor.la_backend.evaluate, queries[index].analysis)
+
+
+@pytest.mark.parametrize("index", [0, 2, 4, 7, 9])
+def test_rewritten_qla(benchmark, mimic_env, index):
+    _, queries, executor, optimizer, _ = mimic_env
+    rewritten = optimizer.rewrite(queries[index]).optimized_analysis
+    benchmark(executor.la_backend.evaluate, rewritten)
+
+
+def test_fig11_report(mimic_env):
+    _, queries, executor, optimizer, care_unit = mimic_env
+    print(f"\n[care unit {care_unit}] query  QLA(ms)  RWLA(ms)  speedup")
+    for query in queries:
+        result = optimizer.rewrite(query)
+        original = executor.la_backend.timed(query.analysis)
+        rewritten = executor.la_backend.timed(result.optimized_analysis)
+        assert values_allclose(original.value, rewritten.value, rtol=1e-4, atol=1e-5)
+        speedup = original.seconds / rewritten.seconds if rewritten.seconds > 0 else float("inf")
+        print(
+            f"{query.name:5s} {original.seconds * 1e3:8.2f} "
+            f"{rewritten.seconds * 1e3:9.2f} {speedup:8.2f}x"
+        )

@@ -1,0 +1,42 @@
+"""Figure 5: P1.1, P1.3, P1.4, P1.15 — execution before vs after rewriting (no views).
+
+The paper reports Q_exec vs RW_exec (plus RW_find) on several systems; here
+the as-stated NumPy backend plays the role of R / NumPy / TF / MLlib.  The
+expectation that must hold is the *shape*: the rewriting is never slower, and
+is substantially faster for the pipelines with large intermediates.
+"""
+
+import pytest
+
+from repro.benchkit.harness import run_pipeline
+from repro.benchkit.pipelines import build_pipeline
+
+FIG5_PIPELINES = ["P1.1", "P1.3", "P1.4", "P1.15"]
+
+
+@pytest.mark.parametrize("name", FIG5_PIPELINES)
+def test_original_execution(benchmark, name, roles, numpy_backend):
+    expr = build_pipeline(name, roles)
+    benchmark(numpy_backend.evaluate, expr)
+
+
+@pytest.mark.parametrize("name", FIG5_PIPELINES)
+def test_rewritten_execution(benchmark, name, roles, numpy_backend, optimizer_mnc):
+    expr = build_pipeline(name, roles)
+    result = optimizer_mnc.rewrite(expr)
+    benchmark(numpy_backend.evaluate, result.best)
+
+
+def test_fig5_report(roles, numpy_backend, optimizer_mnc):
+    runs = [
+        run_pipeline(name, build_pipeline(name, roles), optimizer_mnc, numpy_backend)
+        for name in FIG5_PIPELINES
+    ]
+    print("\npipeline  Qexec(ms)  RWfind(ms)  RWexec(ms)  speedup")
+    for run in runs:
+        print(
+            f"{run.name:8s} {run.q_exec * 1e3:9.2f} {run.rw_find * 1e3:10.2f} "
+            f"{run.rw_exec * 1e3:10.2f} {run.speedup:8.2f}x"
+        )
+        assert run.equivalent is not False
+        assert run.rw_exec <= run.q_exec * 1.5 + 0.01

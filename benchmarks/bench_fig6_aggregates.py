@@ -1,0 +1,33 @@
+"""Figure 6: P1.13, P1.25, P1.14, P2.12 — aggregate pipelines before/after rewriting."""
+
+import pytest
+
+from repro.benchkit.harness import run_pipeline
+from repro.benchkit.pipelines import build_pipeline
+
+FIG6_PIPELINES = ["P1.13", "P1.25", "P1.14", "P2.12"]
+
+
+@pytest.mark.parametrize("name", FIG6_PIPELINES)
+def test_original_execution(benchmark, name, roles, numpy_backend):
+    benchmark(numpy_backend.evaluate, build_pipeline(name, roles))
+
+
+@pytest.mark.parametrize("name", FIG6_PIPELINES)
+def test_rewritten_execution(benchmark, name, roles, numpy_backend, optimizer_mnc):
+    result = optimizer_mnc.rewrite(build_pipeline(name, roles))
+    benchmark(numpy_backend.evaluate, result.best)
+
+
+def test_fig6_report(roles, numpy_backend, optimizer_mnc):
+    print("\npipeline  Qexec(ms)  RWexec(ms)  speedup  rewrite")
+    for name in FIG6_PIPELINES:
+        run = run_pipeline(name, build_pipeline(name, roles), optimizer_mnc, numpy_backend)
+        print(
+            f"{run.name:8s} {run.q_exec * 1e3:9.2f} {run.rw_exec * 1e3:10.2f} "
+            f"{run.speedup:7.2f}x  {run.rewrite}"
+        )
+        assert run.equivalent is not False
+        # The sum-of-product pipelines avoid the huge product intermediate.
+        if name in ("P1.13", "P1.14", "P2.12"):
+            assert run.changed

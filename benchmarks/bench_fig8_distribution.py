@@ -1,0 +1,48 @@
+"""Figure 8: distribution of rewriting speed-ups over the P¬Opt pipelines.
+
+The paper plots, for the R system, how many P¬Opt pipelines land in each
+speed-up bucket (87% of the <10x group above 1.5x; 13 pipelines above 10x;
+P1.5 around 1000x).  This bench reproduces the distribution on the as-stated
+NumPy backend using estimated-cost ratios and measured execution times.
+"""
+
+from collections import Counter
+
+from repro.benchkit.harness import run_pipeline
+from repro.benchkit.pipelines import P_NO_OPT, build_pipeline
+
+
+def _bucket(speedup: float) -> str:
+    if speedup < 1.1:
+        return "~1x"
+    if speedup < 1.5:
+        return "1.1-1.5x"
+    if speedup < 10:
+        return "1.5-10x"
+    if speedup < 60:
+        return "10-60x"
+    return ">=60x"
+
+
+def test_fig8_speedup_distribution(benchmark, roles, numpy_backend, optimizer_mnc):
+    def sweep():
+        runs = []
+        for name in P_NO_OPT:
+            expr = build_pipeline(name, roles)
+            runs.append(run_pipeline(name, expr, optimizer_mnc, numpy_backend))
+        return runs
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    buckets = Counter(_bucket(run.speedup) for run in runs)
+    estimated = Counter(
+        _bucket(run.original_cost / run.best_cost if run.best_cost > 0 else float("inf"))
+        for run in runs
+    )
+    print("\nmeasured speed-up buckets :", dict(buckets))
+    print("estimated speed-up buckets:", dict(estimated))
+    rewritten = sum(1 for run in runs if run.changed)
+    print(f"{rewritten}/{len(runs)} P-noopt pipelines rewritten")
+    for run in runs:
+        assert run.equivalent is not False, f"{run.name} rewriting changed the result"
+    # The large majority of P¬Opt pipelines must be rewritten (the point of the figure).
+    assert rewritten >= int(0.7 * len(runs))

@@ -1,0 +1,45 @@
+"""§9.1.3: rewriting time (RW_find) and relative overhead, naive vs MNC estimator.
+
+The paper reports that most RW_find times are a few tens of milliseconds,
+that the MNC estimator is slightly more expensive than the naive one, and
+that on already-optimal pipelines the overhead stays in the single-digit
+percent range of total time.
+"""
+
+import statistics
+
+import pytest
+
+from repro.benchkit.harness import run_pipeline
+from repro.benchkit.pipelines import P_NO_OPT, P_OPT, build_pipeline
+
+SAMPLE_NO_OPT = ["P1.1", "P1.4", "P1.13", "P1.15", "P2.10", "P2.25"]
+SAMPLE_OPT = [name for name in P_OPT if name in ("P1.19", "P1.20", "P2.19", "P2.22", "P2.23", "P2.24")]
+
+
+@pytest.mark.parametrize("name", SAMPLE_NO_OPT)
+def test_rwfind_naive(benchmark, name, roles, optimizer_naive):
+    benchmark(optimizer_naive.rewrite, build_pipeline(name, roles))
+
+
+@pytest.mark.parametrize("name", SAMPLE_NO_OPT)
+def test_rwfind_mnc(benchmark, name, roles, optimizer_mnc):
+    benchmark(optimizer_mnc.rewrite, build_pipeline(name, roles))
+
+
+def test_overhead_report(roles, numpy_backend, optimizer_naive, optimizer_mnc):
+    print("\npipeline  estimator  RWfind(ms)  overhead(%)")
+    rows = []
+    for name in SAMPLE_NO_OPT + SAMPLE_OPT:
+        for label, optimizer in (("naive", optimizer_naive), ("mnc", optimizer_mnc)):
+            run = run_pipeline(name, build_pipeline(name, roles), optimizer, numpy_backend)
+            rows.append((name, label, run.rw_find, run.overhead))
+            print(f"{name:8s} {label:9s} {run.rw_find * 1e3:10.2f} {run.overhead * 100:11.2f}")
+    naive_times = [rw for _, label, rw, _ in rows if label == "naive"]
+    mnc_times = [rw for _, label, rw, _ in rows if label == "mnc"]
+    print(
+        f"median RWfind naive={statistics.median(naive_times) * 1e3:.1f}ms "
+        f"mnc={statistics.median(mnc_times) * 1e3:.1f}ms"
+    )
+    # Rewriting must stay lightweight (well under a second per pipeline here).
+    assert max(naive_times + mnc_times) < 5.0

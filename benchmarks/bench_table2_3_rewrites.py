@@ -1,0 +1,40 @@
+"""Tables 2/3 + 12/13: HADAD finds (at least) the paper's rewrites for P¬Opt.
+
+For every P¬Opt pipeline this bench measures the rewriting time (RW_find) and
+checks that the optimizer's chosen expression is estimated to be no costlier
+than the rewrite reported in Tables 12/13.
+"""
+
+import pytest
+
+from repro.benchkit.expected import EXPECTED_REWRITES, build_expected_rewrite
+from repro.benchkit.pipelines import P_NO_OPT, build_pipeline
+from repro.cost import NaiveMetadataEstimator
+from repro.cost.model import expression_cost
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_REWRITES))
+def test_rewrite_matches_paper(benchmark, name, catalog, roles, optimizer_naive):
+    expr = build_pipeline(name, roles)
+    result = benchmark(optimizer_naive.rewrite, expr)
+    estimator = NaiveMetadataEstimator()
+    expected_cost = expression_cost(build_expected_rewrite(name, roles), catalog, estimator)
+    assert result.best_cost <= expected_cost * 1.05 + 1e-6, (
+        f"{name}: found {result.best.to_string()} (cost {result.best_cost:.3g}) "
+        f"worse than the paper's rewrite (cost {expected_cost:.3g})"
+    )
+
+
+def test_summary_table(catalog, roles, optimizer_naive):
+    """Print the Table 12/13 comparison: pipeline, original cost, found cost, paper cost."""
+    estimator = NaiveMetadataEstimator()
+    rows = []
+    for name in sorted(EXPECTED_REWRITES):
+        expr = build_pipeline(name, roles)
+        result = optimizer_naive.rewrite(expr)
+        paper_cost = expression_cost(build_expected_rewrite(name, roles), catalog, estimator)
+        rows.append((name, result.original_cost, result.best_cost, paper_cost))
+    print("\npipeline  gamma(original)  gamma(HADAD)  gamma(paper rewrite)")
+    for name, original, found, paper in rows:
+        print(f"{name:8s} {original:15.4g} {found:13.4g} {paper:18.4g}")
+    assert len(rows) == len(EXPECTED_REWRITES)

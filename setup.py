@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy (non-PEP-660) editable installs keep working in offline
+environments that lack the ``wheel`` package::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a reproduction of HADAD (SIGMOD 2021).
+
+HADAD is a lightweight, extensible approach for optimizing hybrid complex
+analytics queries that mix relational algebra (RA) and linear algebra (LA).
+Everything is reduced to a relational model with integrity constraints: LA
+operations become virtual relations, LA properties / system rewrite rules /
+materialized views become TGD and EGD constraints, and a provenance-aware
+chase & backchase with cost-based pruning finds the minimum-cost equivalent
+rewriting, which is decoded back to LA syntax and executed unchanged on the
+underlying platform.
+
+Quick start::
+
+    from repro import HadadOptimizer, LAView
+    from repro.lang import matrix, inv, transpose
+    from repro.data.generators import standard_catalog
+
+    catalog = standard_catalog(scale=0.01)
+    X, y = matrix("Syn5"), matrix("Syn8")
+    ols = inv(transpose(X) @ X) @ (transpose(X) @ y)
+
+    optimizer = HadadOptimizer(catalog, views=[LAView("V1", inv(X))])
+    result = optimizer.rewrite(ols)
+    print(result.summary())
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+reproduction of the paper's evaluation.
+"""
+
+from repro.core import HadadOptimizer, LAView, RewriteResult
+from repro.data import Catalog, MatrixData, MatrixMeta, Table
+from repro.cost import MNCEstimator, NaiveMetadataEstimator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HadadOptimizer",
+    "LAView",
+    "RewriteResult",
+    "Catalog",
+    "MatrixData",
+    "MatrixMeta",
+    "Table",
+    "MNCEstimator",
+    "NaiveMetadataEstimator",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Execution backends (the substrates HADAD sits on top of).
+
+HADAD itself never executes anything; it hands the rewritten expression to an
+unchanged execution platform.  The paper evaluates on R, NumPy, TensorFlow,
+SparkMLlib, SystemML, MorpheusR and SparkSQL; this package provides the
+equivalent substrates:
+
+* :class:`~repro.backends.numpy_backend.NumpyBackend` — evaluates the
+  expression *as stated* (syntactic order, no algebraic rewriting) on
+  NumPy / SciPy kernels; the stand-in for R, NumPy, TensorFlow and MLlib.
+* :class:`~repro.backends.systemml_like.SystemMLLikeBackend` — first applies
+  SystemML's static rewrite rules and a multiplication-chain reordering, then
+  executes; the partially-optimizing baseline.
+* :class:`~repro.backends.morpheus.MorpheusBackend` — factorized LA over
+  normalized (PK-FK join) matrices, with Morpheus' pushdown rules.
+* :class:`~repro.backends.relational.RelationalEngine` — selection,
+  projection, hash join and table↔matrix conversion over in-memory column
+  tables; the stand-in for SparkSQL in the hybrid experiments.
+"""
+
+from repro.backends.base import Backend, EvaluationResult
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.systemml_like import SystemMLLikeBackend
+from repro.backends.morpheus import MorpheusBackend, NormalizedMatrix
+from repro.backends.relational import RelationalEngine
+
+__all__ = [
+    "Backend",
+    "EvaluationResult",
+    "NumpyBackend",
+    "SystemMLLikeBackend",
+    "MorpheusBackend",
+    "NormalizedMatrix",
+    "RelationalEngine",
+]

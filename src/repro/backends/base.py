@@ -1,0 +1,86 @@
+"""Common backend machinery."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.catalog import Catalog
+from repro.exceptions import ExecutionError
+from repro.lang import matrix_expr as mx
+
+Value = Union[np.ndarray, sparse.spmatrix, float]
+
+
+@dataclass
+class EvaluationResult:
+    """Value of an expression together with its wall-clock evaluation time."""
+
+    value: Value
+    seconds: float
+
+    def as_dense(self) -> np.ndarray:
+        if sparse.issparse(self.value):
+            return np.asarray(self.value.todense())
+        return np.asarray(self.value)
+
+
+class Backend:
+    """Base class: resolves leaves from a catalog and times evaluations."""
+
+    name = "backend"
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- to be provided by subclasses -------------------------------------------
+    def evaluate(self, expr: mx.Expr) -> Value:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+    def timed(self, expr: mx.Expr) -> EvaluationResult:
+        """Evaluate and measure wall-clock time (the paper's Q_exec / RW_exec)."""
+        start = time.perf_counter()
+        value = self.evaluate(expr)
+        return EvaluationResult(value=value, seconds=time.perf_counter() - start)
+
+    def leaf_value(self, expr: mx.Expr) -> Value:
+        """Resolve the stored value of a leaf node."""
+        if isinstance(expr, mx.MatrixRef):
+            if not self.catalog.has_matrix_values(expr.name):
+                raise ExecutionError(
+                    f"matrix {expr.name!r} has no materialized values in the catalog"
+                )
+            return self.catalog.matrix(expr.name).values
+        if isinstance(expr, mx.ScalarConst):
+            return float(expr.value)
+        if isinstance(expr, mx.ScalarRef):
+            return float(self.catalog.scalar(expr.name))
+        if isinstance(expr, mx.Identity):
+            return np.eye(expr.n)
+        if isinstance(expr, mx.Zero):
+            return np.zeros((expr.rows, expr.cols))
+        raise ExecutionError(f"{expr!r} is not a leaf expression")
+
+
+def to_dense(value: Value) -> np.ndarray:
+    """Coerce any backend value to a dense 2-D array (scalars become 1x1)."""
+    if sparse.issparse(value):
+        return np.asarray(value.todense())
+    if np.isscalar(value):
+        return np.asarray([[float(value)]])
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        return array.reshape(1, 1)
+    if array.ndim == 1:
+        return array.reshape(-1, 1)
+    return array
+
+
+def values_allclose(left: Value, right: Value, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
+    """Numerical equality of two backend values (used to verify rewrites)."""
+    return np.allclose(to_dense(left), to_dense(right), rtol=rtol, atol=atol)

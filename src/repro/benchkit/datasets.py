@@ -1,0 +1,52 @@
+"""The benchmark data environment (Tables 4, 5 and 6, scaled)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.data.catalog import Catalog
+from repro.data.generators import (
+    DEFAULT_SCALE,
+    standard_catalog,
+    well_conditioned_square,
+)
+
+#: Role bindings of Table 6 (dense variant).  ``D`` is bound to a *second*
+#: square matrix of Syn5's size (``Syn5b``) so that pipelines over C and D
+#: exercise two distinct matrices, as in the paper.
+ROLE_BINDINGS_DENSE: Dict[str, str] = {
+    "A": "AL1",
+    "B": "Syn3",
+    "C": "Syn5",
+    "D": "Syn5b",
+    "M": "Syn1",
+    "N": "Syn2",
+    "R": "Syn10",
+    "X": "AL3",
+    "v1": "Syn7",
+    "v2": "Syn8",
+    "u1": "Syn9",
+    "vD": "vSq",
+}
+
+#: Sparse variant: the ultra-sparse Amazon-like subset plays the role of M
+#: (the paper's "AS in the role of M" runs).
+ROLE_BINDINGS_SPARSE: Dict[str, str] = dict(ROLE_BINDINGS_DENSE, M="AS", A="NL1")
+
+
+def benchmark_catalog(scale: float = DEFAULT_SCALE, include_real: bool = True) -> Catalog:
+    """The catalog used by the LA benchmark: Tables 4/5 plus helpers.
+
+    On top of :func:`repro.data.generators.standard_catalog` it adds
+    ``Syn5b`` — a second well-conditioned square matrix of Syn5's size — so
+    that the C / D roles of Table 6 are bound to distinct matrices.
+    """
+    catalog = standard_catalog(scale=scale, include_real=include_real)
+    n = catalog.shape("Syn5")[0]
+    catalog.register_matrix(well_conditioned_square("Syn5b", n, seed=1234))
+    # A vector conformable with the square C/D matrices regardless of scale
+    # (the paper's OLS pipeline P2.21 multiplies D^T by it).
+    import numpy as np
+
+    catalog.register_dense("vSq", np.random.default_rng(77).random((n, 1)))
+    return catalog

@@ -1,0 +1,79 @@
+"""Expected rewrites from Tables 12 and 13 (the P¬Opt pipelines).
+
+For each pipeline the paper lists the rewriting HADAD found; these builders
+reconstruct that expression over the Table 6 role environment so benchmarks
+and tests can check that the optimizer's choice is *at least as cheap* as
+the paper's (and numerically equivalent to the original).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from repro.lang import matrix_expr as mx
+from repro.lang.builder import (
+    colsums,
+    det,
+    elem_div,
+    hadamard,
+    inv,
+    rowsums,
+    scalar_mul,
+    sub,
+    sum_all,
+    trace,
+    transpose,
+)
+
+Env = Mapping[str, mx.Expr]
+_t = transpose
+
+EXPECTED_REWRITES: Dict[str, Callable[[Env], mx.Expr]] = {
+    # Table 12
+    "P1.1": lambda r: _t(r["N"]) @ _t(r["M"]),
+    "P1.2": lambda r: _t(r["A"] + r["B"]),
+    "P1.3": lambda r: inv(r["D"] @ r["C"]),
+    "P1.4": lambda r: r["A"] @ r["v1"] + r["B"] @ r["v1"],
+    "P1.5": lambda r: r["D"],
+    "P1.6": lambda r: hadamard(r["s1"], trace(r["D"])),
+    "P1.7": lambda r: r["A"],
+    "P1.8": lambda r: scalar_mul(r["s1"] + r["s2"], r["A"]),
+    "P1.9": lambda r: det(r["D"]),
+    "P1.10": lambda r: _t(colsums(r["A"])),
+    "P1.11": lambda r: _t(colsums(r["A"] + r["B"])),
+    "P1.12": lambda r: colsums(r["M"]) @ r["N"],
+    "P1.13": lambda r: sum_all(hadamard(_t(colsums(r["M"])), rowsums(r["N"]))),
+    "P1.14": lambda r: sum_all(hadamard(_t(colsums(r["M"])), rowsums(r["N"]))),
+    "P1.15": lambda r: r["M"] @ (r["N"] @ r["M"]),
+    "P1.16": lambda r: sum_all(r["A"]),
+    "P1.17": lambda r: hadamard(det(r["C"]), hadamard(det(r["D"]), det(r["C"]))),
+    "P1.18": lambda r: sum_all(r["A"]),
+    "P1.25": lambda r: hadamard(
+        r["M"], elem_div(_t(r["N"]), r["M"] @ (r["N"] @ _t(r["N"])))
+    ),
+    # Table 13
+    "P2.1": lambda r: trace(r["C"]) + trace(r["D"]),
+    "P2.2": lambda r: elem_div(mx.ScalarConst(1.0), det(r["D"])),
+    "P2.3": lambda r: trace(r["D"]),
+    "P2.4": lambda r: scalar_mul(r["s1"], r["A"] + r["B"]),
+    "P2.5": lambda r: elem_div(mx.ScalarConst(1.0), det(r["C"] + r["D"])),
+    "P2.6": lambda r: _t(inv(r["D"]) @ r["C"]),
+    "P2.7": lambda r: r["C"],
+    "P2.8": lambda r: hadamard(det(r["C"]), det(r["D"])),
+    "P2.9": lambda r: trace(r["D"] @ r["C"]) + trace(r["D"]),
+    "P2.10": lambda r: r["M"] @ rowsums(r["N"]),
+    "P2.11": lambda r: sum_all(r["A"]) + sum_all(r["B"]),
+    "P2.12": lambda r: sum_all(hadamard(_t(colsums(r["M"])), rowsums(r["N"]))),
+    "P2.13": lambda r: _t(r["M"] @ (r["N"] @ r["M"])),
+    "P2.14": lambda r: (r["M"] @ (r["N"] @ r["M"])) @ r["N"],
+    "P2.15": lambda r: sum_all(r["A"]),
+    "P2.16": lambda r: trace(inv(r["D"] @ r["C"])) + trace(r["D"]),
+    "P2.17": lambda r: _t(inv(r["C"] + r["D"])) @ r["D"],
+    "P2.18": lambda r: _t(rowsums(r["A"] + r["B"])),
+    "P2.25": lambda r: sub(r["u1"] @ (_t(r["v2"]) @ r["v2"]), r["X"] @ r["v2"]),
+}
+
+
+def build_expected_rewrite(name: str, roles: Env) -> mx.Expr:
+    """Instantiate the paper's expected rewrite of one pipeline."""
+    return EXPECTED_REWRITES[name](roles)

@@ -1,0 +1,175 @@
+"""The micro-hybrid benchmark: queries Q1–Q10 of Table 7 / Appendix G.
+
+Each query has the same RA preprocessing — build the dense joined feature
+matrix ``M`` and the ultra-sparse filtered fact matrix ``N`` — and a
+different LA analysis pipeline (Table 7).  The auxiliary dense matrices
+(X, C, u, v) are synthesised with shapes derived from the dataset spec, as
+in the paper; where the paper's informal pipeline text is dimensionally
+ambiguous the closest conformable reading is used (documented per query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.constraints.views import LAView
+from repro.data.catalog import Catalog
+from repro.data.datasets import HybridDatasetSpec
+from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
+from repro.lang import matrix_expr as mx
+from repro.lang.builder import (
+    colsums,
+    hadamard,
+    matrix,
+    rowsums,
+    sub,
+    sum_all,
+    trace,
+    transpose,
+)
+from repro.lang.relational_expr import Predicate
+
+_t = transpose
+
+
+def _ensure_auxiliaries(catalog: Catalog, spec: HybridDatasetSpec, seed: int = 5) -> None:
+    """Register the synthetic dense auxiliaries used by Table 7 (idempotent)."""
+    rng = np.random.default_rng(seed)
+    n, f, h = spec.n_entities, spec.n_features, spec.n_fact_columns
+    shapes = {
+        "AUX_Xhn": (h, n),   # X of Q1/Q4/Q6: h x n
+        "AUX_Cnh": (n, h),   # dense n x h matrix (C in Q4, X in Q3/Q9)
+        "AUX_Cnh2": (n, h),  # a second dense n x h matrix (Q10)
+        "AUX_Xfh": (f, h),   # X of Q5/Q8: f x h
+        "AUX_Xfn": (f, n),   # X of Q7 / C of Q9: f x n
+        "AUX_Chh": (h, h),   # square h x h matrix (Q8)
+        "AUX_un": (n, 1),    # entity-sized vector
+        "AUX_vh": (h, 1),    # fact-column-sized vector
+    }
+    for name, shape in shapes.items():
+        if not catalog.has_matrix(name):
+            catalog.register_dense(name, rng.random(shape))
+
+
+def twitter_builders(spec: HybridDatasetSpec, measure_filter=("<=", 4.0)) -> Tuple:
+    """The M / N matrix builders of the Twitter benchmark."""
+    feature_m = JoinFeatureMatrix(
+        name="Mfeat",
+        left_table="Tweet",
+        right_table="User",
+        key="id",
+        left_columns=(
+            "favorite_count", "quote_count", "reply_count", "retweet_count",
+            "favorited", "possibly_sensitive", "retweeted",
+        ),
+        right_columns=(
+            "followers_count", "friends_count", "listed_count", "protected", "verified",
+        ),
+    )
+    sparse_n = PivotSparseMatrix(
+        name="Nsparse",
+        fact_table="TweetTag",
+        row_key="id",
+        col_key="hashtag_id",
+        measure="filter_level",
+        n_rows=spec.n_entities,
+        n_cols=spec.n_fact_columns,
+        filters=(Predicate("text", "like", "covid"), Predicate("country", "==", "US")),
+        measure_filter=measure_filter,
+    )
+    return feature_m, sparse_n
+
+
+def mimic_builders(spec: HybridDatasetSpec, care_unit: str = "CCU") -> Tuple:
+    """The M / N matrix builders of the MIMIC benchmark."""
+    feature_m = JoinFeatureMatrix(
+        name="Mfeat",
+        left_table="Admissions",
+        right_table="Patients",
+        key="id",
+        left_columns=tuple(f"a_feat_{i}" for i in range(62)),
+        right_columns=tuple(f"p_feat_{i}" for i in range(20)),
+    )
+    sparse_n = PivotSparseMatrix(
+        name="Nsparse",
+        fact_table="Callout",
+        row_key="id",
+        col_key="service_id",
+        measure="outcome",
+        n_rows=spec.n_entities,
+        n_cols=spec.n_fact_columns,
+        filters=(Predicate("care_unit", "==", care_unit),),
+        measure_filter=("==", 2.0),
+    )
+    return feature_m, sparse_n
+
+
+def _analysis_pipelines() -> Dict[str, mx.Expr]:
+    """The ten Q_LA pipelines of Table 7 over M, N and the auxiliaries."""
+    M, N = matrix("Mfeat"), matrix("Nsparse")
+    Xhn, Cnh, Cnh2 = matrix("AUX_Xhn"), matrix("AUX_Cnh"), matrix("AUX_Cnh2")
+    Xfh, Xfn, Chh = matrix("AUX_Xfh"), matrix("AUX_Xfn"), matrix("AUX_Chh")
+    u_n, v_h = matrix("AUX_un"), matrix("AUX_vh")
+    return {
+        # Q1 — P3.1: rowSums(X M) + (u v^T + N^T) v
+        "Q1": rowsums(Xhn @ M) + (v_h @ _t(u_n) + _t(N)) @ u_n,
+        # Q2 — P3.2: u colSums((X M)^T) + N
+        "Q2": u_n @ colsums(_t(Xhn @ M)) + N,
+        # Q3 — P3.3: ((N + X) v) colSums(M)
+        "Q3": ((N + Cnh) @ v_h) @ colsums(M),
+        # Q4 — P3.4: sum(C + N rowSums(X M) v^T)
+        "Q4": sum_all(Cnh + (N @ rowsums(Xhn @ M)) @ _t(v_h)),
+        # Q5 — P3.5: u colSums(M X) + N
+        "Q5": u_n @ colsums(M @ Xfh) + N,
+        # Q6 — P3.6: rowSums((M X)^T) + (u v^T + N^T) v
+        "Q6": rowsums(_t(M @ Xfh)) + (v_h @ _t(u_n) + _t(N)) @ u_n,
+        # Q7 — P3.7: X N u + colSums(M)^T
+        "Q7": (Xfn @ N) @ v_h + _t(colsums(M)),
+        # Q8 — P3.8: N ⊙ trace(C + v colSums(M X) C)
+        "Q8": hadamard(N, trace(Chh + (v_h @ colsums(M @ Xfh)) @ Chh)),
+        # Q9 — P3.9: X ⊙ sum(colSums(C)^T ⊙ rowSums(M)) + N
+        "Q9": hadamard(Cnh, sum_all(hadamard(_t(colsums(Xfn)), rowsums(M)))) + N,
+        # Q10 — P3.10: N ⊙ sum((X + C) M)
+        "Q10": hadamard(N, sum_all((Xhn + _t(Cnh2)) @ M)),
+    }
+
+
+def hybrid_queries(
+    catalog: Catalog,
+    spec: HybridDatasetSpec,
+    dataset: str = "twitter",
+    care_unit: str = "CCU",
+    measure_filter=("<=", 4.0),
+) -> List[HybridQuery]:
+    """Build Q1..Q10 for the given dataset catalog."""
+    _ensure_auxiliaries(catalog, spec)
+    if dataset == "twitter":
+        builders = twitter_builders(spec, measure_filter)
+    elif dataset == "mimic":
+        builders = mimic_builders(spec, care_unit)
+    else:
+        raise ValueError(f"unknown hybrid dataset {dataset!r}")
+    pipelines = _analysis_pipelines()
+    return [
+        HybridQuery(name=name, builders=builders, analysis=analysis,
+                    description=f"micro-hybrid {dataset} {name}")
+        for name, analysis in pipelines.items()
+    ]
+
+
+def hybrid_views(catalog: Catalog) -> List[LAView]:
+    """The hybrid materialized views V3 / V4 / V5 of §9.2.2.
+
+    They are defined over the Morpheus factor matrices of ``Mfeat``
+    (``Mfeat__S``, ``Mfeat__K``, ``Mfeat__R``), which the hybrid optimizer
+    materializes; rewritings can only reach them by combining LA properties
+    with the Morpheus factorization constraints, as in the paper.
+    """
+    S, K, R = matrix("Mfeat__S"), matrix("Mfeat__K"), matrix("Mfeat__R")
+    return [
+        LAView("V3h", rowsums(S) + K @ rowsums(R)),
+        LAView("V4h", mx.CBind(colsums(S), colsums(K) @ R)),
+        LAView("V5h", mx.CBind(matrix("AUX_Xhn") @ S, (matrix("AUX_Xhn") @ K) @ R)),
+    ]

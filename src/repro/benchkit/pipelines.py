@@ -1,0 +1,152 @@
+"""The LA benchmark pipelines of Tables 2 and 3.
+
+Each pipeline is a function of a *role environment* — a mapping of the role
+names of Table 6 (A, B, C, D, M, N, R, X, v1, v2, u1, s1, s2) to expressions
+— so the same definition can be instantiated over the dense bindings, the
+sparse bindings, or any ad-hoc matrices in tests.
+
+The partition of §9.1 is also defined here:
+
+* ``P_NO_OPT``  — the 38 pipelines whose performance improves purely by
+  exploiting LA properties (no views), Tables 12/13;
+* ``P_VIEWS``   — the 30 pipelines sped up by the V_exp views, Table 15;
+* ``P_OPT``     — the remaining, already-optimal pipelines (§9.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.lang import matrix_expr as mx
+from repro.lang.builder import (
+    colsums,
+    det,
+    elem_div,
+    hadamard,
+    inv,
+    mat_exp,
+    matrix,
+    rowsums,
+    scalar,
+    scalar_mul,
+    sub,
+    sum_all,
+    trace,
+    transpose,
+)
+
+Env = Mapping[str, mx.Expr]
+PipelineFn = Callable[[Env], mx.Expr]
+
+
+def default_roles(bindings: Mapping[str, str]) -> Dict[str, mx.Expr]:
+    """Turn a role → matrix-name binding (Table 6) into a role environment."""
+    roles: Dict[str, mx.Expr] = {role: matrix(name) for role, name in bindings.items()}
+    roles.setdefault("s1", scalar("s1"))
+    roles.setdefault("s2", scalar("s2"))
+    return roles
+
+
+# --------------------------------------------------------------------------- helpers
+def _t(expr):
+    return transpose(expr)
+
+
+PIPELINES: Dict[str, PipelineFn] = {
+    # ----------------------------------------------------- Table 2 (P1.x)
+    "P1.1": lambda r: _t(r["M"] @ r["N"]),
+    "P1.2": lambda r: _t(r["A"]) + _t(r["B"]),
+    "P1.3": lambda r: inv(r["C"]) @ inv(r["D"]),
+    "P1.4": lambda r: (r["A"] + r["B"]) @ r["v1"],
+    "P1.5": lambda r: inv(inv(r["D"])),
+    "P1.6": lambda r: trace(scalar_mul(r["s1"], r["D"])),
+    "P1.7": lambda r: _t(_t(r["A"])),
+    "P1.8": lambda r: scalar_mul(r["s1"], r["A"]) + scalar_mul(r["s2"], r["A"]),
+    "P1.9": lambda r: det(_t(r["D"])),
+    "P1.10": lambda r: rowsums(_t(r["A"])),
+    "P1.11": lambda r: rowsums(_t(r["A"]) + _t(r["B"])),
+    "P1.12": lambda r: colsums(r["M"] @ r["N"]),
+    "P1.13": lambda r: sum_all(r["M"] @ r["N"]),
+    "P1.14": lambda r: sum_all(colsums(_t(r["N"]) @ _t(r["M"]))),
+    "P1.15": lambda r: (r["M"] @ r["N"]) @ r["M"],
+    "P1.16": lambda r: sum_all(_t(r["A"])),
+    "P1.17": lambda r: det((r["C"] @ r["D"]) @ r["C"]),
+    "P1.18": lambda r: sum_all(colsums(r["A"])),
+    "P1.19": lambda r: inv(_t(r["C"])),
+    "P1.20": lambda r: trace(inv(r["C"])),
+    "P1.21": lambda r: _t(r["C"] + inv(r["D"])),
+    "P1.22": lambda r: trace(inv(r["C"] + r["D"])),
+    "P1.23": lambda r: det(inv(r["C"] @ r["D"]) + r["D"]),
+    "P1.24": lambda r: trace(inv(r["C"] @ r["D"])) + trace(r["D"]),
+    "P1.25": lambda r: hadamard(
+        r["M"], elem_div(_t(r["N"]), (r["M"] @ r["N"]) @ _t(r["N"]))
+    ),
+    "P1.26": lambda r: hadamard(
+        r["N"], elem_div(_t(r["M"]), (_t(r["M"]) @ r["M"]) @ r["N"])
+    ),
+    "P1.27": lambda r: trace(r["D"] @ _t(r["C"] @ r["D"])),
+    "P1.28": lambda r: hadamard(r["A"], hadamard(r["A"], r["B"]) + r["A"]),
+    "P1.29": lambda r: ((r["D"] @ r["C"]) @ r["C"]) @ r["C"],
+    "P1.30": lambda r: hadamard(r["N"] @ r["M"], (r["N"] @ r["M"]) @ _t(r["R"])),
+    # ----------------------------------------------------- Table 3 (P2.x)
+    "P2.1": lambda r: trace(r["C"] + r["D"]),
+    "P2.2": lambda r: det(inv(r["D"])),
+    "P2.3": lambda r: trace(_t(r["D"])),
+    "P2.4": lambda r: scalar_mul(r["s1"], r["A"]) + scalar_mul(r["s1"], r["B"]),
+    "P2.5": lambda r: det(inv(r["C"] + r["D"])),
+    "P2.6": lambda r: _t(r["C"]) @ inv(_t(r["D"])),
+    "P2.7": lambda r: (r["D"] @ inv(r["D"])) @ r["C"],
+    "P2.8": lambda r: det(_t(r["C"]) @ r["D"]),
+    "P2.9": lambda r: trace(_t(r["C"]) @ _t(r["D"]) + r["D"]),
+    "P2.10": lambda r: rowsums(r["M"] @ r["N"]),
+    "P2.11": lambda r: sum_all(r["A"] + r["B"]),
+    "P2.12": lambda r: sum_all(rowsums(_t(r["N"]) @ _t(r["M"]))),
+    "P2.13": lambda r: _t((r["M"] @ r["N"]) @ r["M"]),
+    "P2.14": lambda r: ((r["M"] @ r["N"]) @ r["M"]) @ r["N"],
+    "P2.15": lambda r: sum_all(rowsums(r["A"])),
+    "P2.16": lambda r: trace(inv(r["C"]) @ inv(r["D"])) + trace(r["D"]),
+    "P2.17": lambda r: ((_t(inv(r["C"] + r["D"])) @ inv(inv(r["D"]))) @ inv(r["C"])) @ r["C"],
+    "P2.18": lambda r: colsums(_t(r["A"]) + _t(r["B"])),
+    "P2.19": lambda r: inv(_t(r["C"]) @ r["D"]),
+    "P2.20": lambda r: _t(r["M"] @ (r["N"] @ r["M"])),
+    "P2.21": lambda r: inv(_t(r["D"]) @ r["D"])
+    @ (_t(r["D"]) @ (r["vD"] if "vD" in r else r["v1"])),
+    "P2.22": lambda r: mat_exp(_t(r["C"] + r["D"])),
+    "P2.23": lambda r: hadamard(det(r["C"]), hadamard(det(r["D"]), det(r["C"]))),
+    "P2.24": lambda r: _t(inv(r["D"]) @ r["C"]),
+    "P2.25": lambda r: sub(r["u1"] @ _t(r["v2"]), r["X"]) @ r["v2"],
+    "P2.26": lambda r: mat_exp(inv(r["C"] + r["D"])),
+    "P2.27": lambda r: (inv(_t(r["C"] + r["D"])) @ r["D"]) @ r["C"],
+}
+
+#: Pipelines whose performance improves by LA-property rewriting alone
+#: (Tables 12 and 13).
+P_NO_OPT: List[str] = [
+    "P1.1", "P1.2", "P1.3", "P1.4", "P1.5", "P1.6", "P1.7", "P1.8", "P1.9",
+    "P1.10", "P1.11", "P1.12", "P1.13", "P1.14", "P1.15", "P1.16", "P1.17",
+    "P1.18", "P1.25",
+    "P2.1", "P2.2", "P2.3", "P2.4", "P2.5", "P2.6", "P2.7", "P2.8", "P2.9",
+    "P2.10", "P2.11", "P2.12", "P2.13", "P2.14", "P2.15", "P2.16", "P2.17",
+    "P2.18", "P2.25",
+]
+
+#: Pipelines sped up by the V_exp views (Table 15).
+P_VIEWS: List[str] = [
+    "P1.2", "P1.3", "P1.4", "P1.11", "P1.15", "P1.17", "P1.19", "P1.20",
+    "P1.21", "P1.22", "P1.23", "P1.24", "P1.29", "P1.30",
+    "P2.2", "P2.4", "P2.5", "P2.6", "P2.9", "P2.11", "P2.13", "P2.14",
+    "P2.16", "P2.17", "P2.18", "P2.20", "P2.21", "P2.25", "P2.26", "P2.27",
+]
+
+#: Pipelines that are already (close to) optimal as stated (§9.1.3).
+P_OPT: List[str] = sorted(set(PIPELINES) - set(P_NO_OPT))
+
+
+def pipeline_names() -> List[str]:
+    """All pipeline identifiers, in table order."""
+    return list(PIPELINES)
+
+
+def build_pipeline(name: str, roles: Env) -> mx.Expr:
+    """Instantiate one pipeline over a role environment."""
+    return PIPELINES[name](roles)

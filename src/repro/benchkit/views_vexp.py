@@ -1,0 +1,46 @@
+"""The materialized view set V_exp of Table 14."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.constraints.views import LAView
+from repro.lang import matrix_expr as mx
+from repro.lang.builder import det, inv, transpose
+
+Env = Mapping[str, mx.Expr]
+
+#: View name -> definition builder (over the Table 6 role environment).
+VEXP_VIEWS: Dict[str, callable] = {
+    "V1": lambda r: inv(r["D"]),
+    "V2": lambda r: inv(transpose(r["C"])),
+    "V3": lambda r: r["N"] @ r["M"],
+    "V4": lambda r: r["u1"] @ transpose(r["v2"]),
+    "V5": lambda r: r["D"] @ r["C"],
+    "V6": lambda r: r["A"] + r["B"],
+    "V7": lambda r: inv(r["C"]),
+    "V8": lambda r: transpose(r["C"]) @ r["D"],
+    "V9": lambda r: inv(r["D"] + r["C"]),
+    "V10": lambda r: det(r["C"] @ r["D"]),
+    "V11": lambda r: det(r["D"] @ r["C"]),
+    "V12": lambda r: transpose(r["D"] @ r["C"]),
+}
+
+
+def build_vexp_views(roles: Env, subset: List[str] = None) -> List[LAView]:
+    """Instantiate (a subset of) the V_exp views over a role environment."""
+    names = subset if subset is not None else list(VEXP_VIEWS)
+    return [LAView(name, VEXP_VIEWS[name](roles)) for name in names]
+
+
+#: Which V_exp views each P_Views pipeline is expected to exploit (Table 15).
+VIEWS_USED_BY_PIPELINE: Dict[str, List[str]] = {
+    "P1.2": ["V6"], "P1.3": ["V7", "V1"], "P1.4": ["V6"], "P1.11": ["V6"],
+    "P1.15": ["V3"], "P1.17": ["V10"], "P1.19": ["V2"], "P1.20": ["V7"],
+    "P1.21": ["V1"], "P1.22": ["V9"], "P1.23": ["V7", "V1"], "P1.24": ["V7", "V1"],
+    "P1.29": ["V5"], "P1.30": ["V3"],
+    "P2.2": ["V1"], "P2.4": ["V6"], "P2.5": ["V9"], "P2.6": ["V1"],
+    "P2.9": ["V12"], "P2.11": ["V6"], "P2.13": ["V3"], "P2.14": ["V3"],
+    "P2.16": ["V7", "V1"], "P2.17": ["V9"], "P2.18": ["V6"], "P2.20": ["V3"],
+    "P2.21": ["V1"], "P2.25": ["V4"], "P2.26": ["V9"], "P2.27": ["V9", "V5"],
+}

@@ -1,0 +1,28 @@
+"""Chase engines.
+
+Two engines are provided, matching the two places the paper uses the chase:
+
+* :mod:`repro.chase.saturation` — the chase of the relationally encoded LA
+  expression with the MMC / view constraints (§6.3, §7.3).  It operates on a
+  :class:`~repro.vrem.instance.VremInstance` (equivalence classes + atoms)
+  and supports the cost-threshold pruning of Prune_prov.
+* :mod:`repro.chase.pacb` — a classic Provenance-Aware Chase & Backchase for
+  conjunctive queries and conjunctive-query views, used for the relational
+  (RA) part of hybrid queries.
+
+:mod:`repro.chase.homomorphism` contains the shared homomorphism machinery.
+"""
+
+from repro.chase.saturation import SaturationEngine, SaturationResult, CostThresholdPruner
+from repro.chase.homomorphism import find_instance_matches
+from repro.chase.pacb import ConjunctiveQuery, RelationalView, PACBRewriter
+
+__all__ = [
+    "SaturationEngine",
+    "SaturationResult",
+    "CostThresholdPruner",
+    "find_instance_matches",
+    "ConjunctiveQuery",
+    "RelationalView",
+    "PACBRewriter",
+]

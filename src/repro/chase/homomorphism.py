@@ -1,0 +1,179 @@
+"""Homomorphism search: matching constraint premises against a VREM instance.
+
+A *match* (containment mapping) binds the variables of a conjunction of
+non-ground atoms to terms of the instance — class IDs or constants — such
+that every atom becomes an atom of the instance.  This is the work-horse of
+both the chase (finding where a constraint premise applies) and the standard
+chase termination check (is the conclusion already satisfied?).
+
+The ``size`` relation gets special treatment: ``size(M, k, z)`` atoms are not
+stored in the instance (shapes are per-class metadata), so a size atom
+matches when the shape of the class bound to ``M`` is known and unifies with
+``k`` and ``z``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.vrem.atoms import Atom, Const, Var
+from repro.vrem.instance import VremInstance
+
+Binding = Dict[Var, object]
+
+
+def _unify_term(pattern, value, binding: Binding) -> Optional[Binding]:
+    """Unify one pattern term against one ground term under a binding."""
+    if isinstance(pattern, Var):
+        bound = binding.get(pattern)
+        if bound is None:
+            extended = dict(binding)
+            extended[pattern] = value
+            return extended
+        return binding if bound == value else None
+    if isinstance(pattern, Const) and isinstance(value, Const):
+        return binding if pattern.value == value.value else None
+    return binding if pattern == value else None
+
+
+def _match_atom_against(pattern: Atom, ground: Atom, binding: Binding,
+                        instance: VremInstance) -> Optional[Binding]:
+    if pattern.relation != ground.relation or len(pattern.args) != len(ground.args):
+        return None
+    current = binding
+    for pat_arg, ground_arg in zip(pattern.args, ground.args):
+        value = ground_arg
+        if isinstance(value, int):
+            value = instance.find(value)
+        current = _unify_term(pat_arg, value, current)
+        if current is None:
+            return None
+    return current
+
+
+def _match_size_atom(pattern: Atom, binding: Binding, instance: VremInstance) -> Iterator[Binding]:
+    """Match ``size(M, k, z)`` against per-class shape metadata."""
+    m_term, k_term, z_term = pattern.args
+    candidates: List[int]
+    if isinstance(m_term, Var) and m_term in binding:
+        value = binding[m_term]
+        candidates = [value] if isinstance(value, int) else []
+    elif isinstance(m_term, int):
+        candidates = [instance.find(m_term)]
+    else:
+        candidates = sorted(cid for cid in instance.classes() if instance.shape(cid) is not None)
+    for cid in candidates:
+        shape = instance.shape(cid) if isinstance(cid, int) else None
+        if shape is None:
+            continue
+        current = _unify_term(m_term, instance.find(cid), binding)
+        if current is None:
+            continue
+        current = _unify_term(k_term, Const(shape[0]), current)
+        if current is None:
+            continue
+        current = _unify_term(z_term, Const(shape[1]), current)
+        if current is not None:
+            yield current
+
+
+def _candidate_atoms(pattern: Atom, binding: Binding, instance: VremInstance):
+    """Candidate ground atoms for ``pattern``, using the positional index.
+
+    The smallest index entry over all constant / already-bound argument
+    positions is used; if no argument is bound the whole relation is scanned.
+    """
+    best = None
+    for position, arg in enumerate(pattern.args):
+        value = None
+        if isinstance(arg, Const):
+            value = arg
+        elif isinstance(arg, Var) and arg in binding:
+            value = binding[arg]
+        elif isinstance(arg, int):
+            value = instance.find(arg)
+        if value is None:
+            continue
+        candidates = instance.atoms_with(pattern.relation, position, value)
+        if best is None or len(candidates) < len(best):
+            best = candidates
+            if not best:
+                return ()
+    if best is not None:
+        return best
+    return instance.atoms(pattern.relation)
+
+
+def _estimated_candidates(pattern: Atom, binding: Binding, instance: VremInstance) -> int:
+    """Estimate of how many ground atoms a pattern can match under a binding."""
+    if pattern.relation == "size":
+        # Size atoms match against metadata; cheap once the subject is bound.
+        subject = pattern.args[0]
+        if isinstance(subject, Var) and subject in binding:
+            return 0
+        return 1_000_000
+    best = instance.atom_count(pattern.relation)
+    for position, arg in enumerate(pattern.args):
+        value = None
+        if isinstance(arg, Const):
+            value = arg
+        elif isinstance(arg, Var) and arg in binding:
+            value = binding[arg]
+        elif isinstance(arg, int):
+            value = instance.find(arg)
+        if value is not None:
+            best = min(best, len(instance.atoms_with(pattern.relation, position, value)))
+    return best
+
+
+def find_instance_matches(
+    atoms: Sequence[Atom],
+    instance: VremInstance,
+    initial_binding: Optional[Binding] = None,
+) -> Iterator[Binding]:
+    """Yield every binding of the atoms' variables that embeds them in the instance.
+
+    The search is a backtracking join with greedy dynamic ordering: at each
+    step the still-unmatched atom with the fewest candidate ground atoms
+    (given the current binding) is matched next, and candidates are fetched
+    through the instance's positional index rather than by scanning whole
+    relations.
+    """
+    initial = dict(initial_binding or {})
+    for var, value in list(initial.items()):
+        if isinstance(value, int):
+            initial[var] = instance.find(value)
+    remaining = list(atoms)
+
+    def backtrack(pending: List[Atom], binding: Binding) -> Iterator[Binding]:
+        if not pending:
+            yield binding
+            return
+        # Pick the most selective pending atom under the current binding.
+        best_index = min(
+            range(len(pending)),
+            key=lambda i: _estimated_candidates(pending[i], binding, instance),
+        )
+        pattern = pending[best_index]
+        rest = pending[:best_index] + pending[best_index + 1 :]
+        if pattern.relation == "size":
+            for extended in _match_size_atom(pattern, binding, instance):
+                yield from backtrack(rest, extended)
+            return
+        for ground in _candidate_atoms(pattern, binding, instance):
+            extended = _match_atom_against(pattern, ground, binding, instance)
+            if extended is not None:
+                yield from backtrack(rest, extended)
+
+    yield from backtrack(remaining, initial)
+
+
+def is_satisfied(
+    atoms: Sequence[Atom],
+    instance: VremInstance,
+    binding: Binding,
+) -> bool:
+    """True if the (partially bound) conjunction has at least one match."""
+    for _ in find_instance_matches(atoms, instance, binding):
+        return True
+    return False

@@ -1,0 +1,309 @@
+"""Provenance-Aware Chase & Backchase (PACB) for conjunctive queries.
+
+This module implements the relational view-based rewriting machinery that
+HADAD inherits from prior work (§4.2): views are modelled as constraints
+(V_IO and V_OI), the query is chased with V_IO to build the *universal plan*,
+the universal plan is backchased with V_OI while annotating every introduced
+atom with a provenance term, and rewritings are read off the provenance of
+the images of the query in the backchased instance.
+
+It is used for the purely relational side of hybrid queries — rewriting the
+RA preprocessing (selections, projections, joins) using relational
+materialized views — while the LA side goes through the VREM saturation
+engine.  The two meet in :mod:`repro.hybrid.optimizer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import RewriteError
+from repro.vrem.atoms import Atom, Const, Var
+
+Term = object
+
+
+def _freeze(binding: Dict[Var, Term]) -> Tuple:
+    return tuple(sorted(((var.name, repr(value)) for var, value in binding.items())))
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``head(x̄) :- body``.
+
+    ``head`` is a tuple of variables (or constants); ``body`` a tuple of
+    atoms over arbitrary relation names (the relational schema of the
+    application, not the VREM schema).
+    """
+
+    name: str
+    head: Tuple[Term, ...]
+    body: Tuple[Atom, ...]
+
+    def variables(self) -> Set[Var]:
+        result: Set[Var] = set()
+        for atom in self.body:
+            result.update(atom.variables())
+        for term in self.head:
+            if isinstance(term, Var):
+                result.add(term)
+        return result
+
+    def head_variables(self) -> Tuple[Var, ...]:
+        return tuple(term for term in self.head if isinstance(term, Var))
+
+    def rename_apart(self, suffix: str) -> "ConjunctiveQuery":
+        """Return a copy whose variables are suffixed (for fresh copies)."""
+        mapping = {var: Var(f"{var.name}{suffix}") for var in self.variables()}
+
+        def rename_term(term):
+            return mapping.get(term, term) if isinstance(term, Var) else term
+
+        head = tuple(rename_term(term) for term in self.head)
+        body = tuple(
+            Atom(atom.relation, tuple(rename_term(term) for term in atom.args))
+            for atom in self.body
+        )
+        return ConjunctiveQuery(self.name, head, body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        head = ", ".join(repr(term) for term in self.head)
+        body = " & ".join(repr(atom) for atom in self.body)
+        return f"{self.name}({head}) :- {body}"
+
+
+def cq(name: str, head: Sequence[str], body_text: str) -> ConjunctiveQuery:
+    """Build a conjunctive query from a compact textual body.
+
+    ``body_text`` uses the same syntax as the constraint DSL but relation
+    names are unrestricted: ``"R(x, z) & S(z, y)"``.
+    """
+    import re
+
+    atom_re = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*")
+    atoms: List[Atom] = []
+    for part in body_text.split("&"):
+        part = part.strip()
+        if not part:
+            continue
+        match = atom_re.fullmatch(part)
+        if not match:
+            raise RewriteError(f"cannot parse CQ atom {part!r}")
+        args = []
+        for token in match.group(2).split(","):
+            token = token.strip()
+            if token[0] in "\"'" and token[-1] in "\"'":
+                args.append(Const(token[1:-1]))
+            else:
+                try:
+                    number = float(token)
+                    args.append(Const(int(number) if number.is_integer() else number))
+                except ValueError:
+                    args.append(Var(token))
+        atoms.append(Atom(match.group(1), tuple(args)))
+    head_terms = tuple(Var(h) for h in head)
+    return ConjunctiveQuery(name, head_terms, tuple(atoms))
+
+
+@dataclass(frozen=True)
+class RelationalView:
+    """A materialized relational view: a named conjunctive query."""
+
+    definition: ConjunctiveQuery
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+
+# ---------------------------------------------------------------------------
+# Homomorphisms between conjunctions of atoms
+# ---------------------------------------------------------------------------
+
+
+def find_homomorphisms(
+    source_atoms: Sequence[Atom],
+    target_atoms: Sequence[Atom],
+    initial: Optional[Dict[Var, Term]] = None,
+) -> Iterator[Dict[Var, Term]]:
+    """All variable mappings embedding ``source_atoms`` into ``target_atoms``."""
+    by_relation: Dict[str, List[Atom]] = {}
+    for atom in target_atoms:
+        by_relation.setdefault(atom.relation, []).append(atom)
+
+    def unify(pattern: Atom, ground: Atom, binding: Dict[Var, Term]) -> Optional[Dict[Var, Term]]:
+        if len(pattern.args) != len(ground.args):
+            return None
+        current = dict(binding)
+        for pat, grd in zip(pattern.args, ground.args):
+            if isinstance(pat, Var):
+                if pat in current:
+                    if current[pat] != grd:
+                        return None
+                else:
+                    current[pat] = grd
+            elif pat != grd:
+                return None
+        return current
+
+    ordered = sorted(source_atoms, key=lambda atom: len(by_relation.get(atom.relation, ())))
+
+    def backtrack(index: int, binding: Dict[Var, Term]) -> Iterator[Dict[Var, Term]]:
+        if index == len(ordered):
+            yield binding
+            return
+        pattern = ordered[index]
+        for ground in by_relation.get(pattern.relation, ()):
+            extended = unify(pattern, ground, binding)
+            if extended is not None:
+                yield from backtrack(index + 1, extended)
+
+    yield from backtrack(0, dict(initial or {}))
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Containment Q1 ⊆ Q2 via the classic containment-mapping test."""
+    q2 = q2.rename_apart("_c")
+    # Freeze q1: variables become constants (its canonical database).
+    frozen = {var: Const(f"__frozen_{var.name}") for var in q1.variables()}
+
+    def freeze_term(term):
+        return frozen.get(term, term) if isinstance(term, Var) else term
+
+    frozen_body = [
+        Atom(atom.relation, tuple(freeze_term(term) for term in atom.args)) for atom in q1.body
+    ]
+    frozen_head = tuple(freeze_term(term) for term in q1.head)
+    for hom in find_homomorphisms(q2.body, frozen_body):
+        image_head = tuple(
+            hom.get(term, term) if isinstance(term, Var) else term for term in q2.head
+        )
+        if image_head == frozen_head:
+            return True
+    return False
+
+
+def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Equivalence of conjunctive queries (containment in both directions)."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+# ---------------------------------------------------------------------------
+# PACB rewriting using views
+# ---------------------------------------------------------------------------
+
+
+class PACBRewriter:
+    """View-based rewriting of conjunctive queries via Chase & Backchase."""
+
+    def __init__(self, views: Sequence[RelationalView]):
+        self.views = list(views)
+
+    # -- phase (i): chase with V_IO --------------------------------------------
+    def _chase_with_views(self, query: ConjunctiveQuery) -> List[Atom]:
+        """Add one view head atom per match of a view body in the query body."""
+        added: List[Atom] = []
+        for view in self.views:
+            definition = view.definition.rename_apart(f"_{view.name}")
+            for hom in find_homomorphisms(definition.body, query.body):
+                head_args = tuple(
+                    hom.get(term, term) if isinstance(term, Var) else term
+                    for term in definition.head
+                )
+                atom = Atom(view.name, head_args)
+                if atom not in added:
+                    added.append(atom)
+        return added
+
+    # -- phase (iv): backchase with V_OI ----------------------------------------
+    def _expand_view_atom(self, atom: Atom, index: int) -> List[Atom]:
+        view = next(v for v in self.views if v.name == atom.relation)
+        definition = view.definition.rename_apart(f"_exp{index}")
+        mapping: Dict[Var, Term] = {}
+        for head_term, arg in zip(definition.head, atom.args):
+            if isinstance(head_term, Var):
+                mapping[head_term] = arg
+        fresh: Dict[Var, Term] = {}
+
+        def resolve(term):
+            if not isinstance(term, Var):
+                return term
+            if term in mapping:
+                return mapping[term]
+            if term not in fresh:
+                fresh[term] = Var(f"_n{index}_{term.name}")
+            return fresh[term]
+
+        return [
+            Atom(body_atom.relation, tuple(resolve(term) for term in body_atom.args))
+            for body_atom in definition.body
+        ]
+
+    def rewrite(self, query: ConjunctiveQuery, max_rewritings: int = 16) -> List[ConjunctiveQuery]:
+        """Return equivalent rewritings of ``query`` over the view schema.
+
+        Rewritings are conjunctive queries whose body atoms are view scans;
+        they are sorted by number of body atoms (the join-count minimality of
+        the original PACB) and deduplicated.
+        """
+        view_atoms = self._chase_with_views(query)
+        if not view_atoms:
+            return []
+        # Universal plan: all view atoms; provenance term = its index.
+        backchased: List[Tuple[Atom, FrozenSet[int]]] = []
+        for index, atom in enumerate(view_atoms):
+            backchased.append((atom, frozenset({index})))
+            for expanded in self._expand_view_atom(atom, index):
+                backchased.append((expanded, frozenset({index})))
+        target_atoms = [atom for atom, _ in backchased]
+        provenance = {id(atom): prov for atom, prov in backchased}
+
+        rewritings: List[ConjunctiveQuery] = []
+        seen: Set[Tuple] = set()
+        for hom in find_homomorphisms(query.body, target_atoms):
+            # Which target atoms were used as images?
+            used: Set[int] = set()
+            for source_atom in query.body:
+                image = Atom(
+                    source_atom.relation,
+                    tuple(
+                        hom.get(term, term) if isinstance(term, Var) else term
+                        for term in source_atom.args
+                    ),
+                )
+                for atom, prov in backchased:
+                    if atom == image:
+                        used |= prov
+                        break
+            head_image = tuple(
+                hom.get(term, term) if isinstance(term, Var) else term for term in query.head
+            )
+            candidate_atoms = tuple(view_atoms[i] for i in sorted(used))
+            key = (head_image, candidate_atoms)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidate = ConjunctiveQuery(query.name, query.head, candidate_atoms)
+            if self._is_equivalent_rewriting(query, candidate):
+                rewritings.append(candidate)
+            if len(rewritings) >= max_rewritings:
+                break
+        rewritings.sort(key=lambda cq_: len(cq_.body))
+        return rewritings
+
+    # -- equivalence check of a candidate ------------------------------------------
+    def _expansion(self, candidate: ConjunctiveQuery) -> ConjunctiveQuery:
+        expanded: List[Atom] = []
+        for index, atom in enumerate(candidate.body):
+            expanded.extend(self._expand_view_atom(atom, 1000 + index))
+        return ConjunctiveQuery(candidate.name, candidate.head, tuple(expanded))
+
+    def _is_equivalent_rewriting(
+        self, query: ConjunctiveQuery, candidate: ConjunctiveQuery
+    ) -> bool:
+        if not candidate.body:
+            return False
+        expansion = self._expansion(candidate)
+        return are_equivalent(query, expansion)

@@ -1,0 +1,263 @@
+"""Saturation of the VREM encoding under MMC / view constraints.
+
+This is the chase of §6.3 as extended by §7.3 (PACB++ / Prune_prov):
+
+* TGDs are applied with the *standard-chase* applicability test — a premise
+  match only triggers an application when no extension of the match already
+  satisfies the conclusion — so terminating constraint sets reach a fixpoint;
+* EGDs merge equivalence classes (or assign known scalar constants);
+* an optional :class:`CostThresholdPruner` refuses applications that would
+  materialise a new intermediate class whose estimated size already exceeds
+  the cost threshold (the cost of the best rewriting found so far — initially
+  the cost of the original expression), exactly the pruning of Example 7.2;
+* hard budgets on rounds, atoms and classes bound the work even for
+  non-terminating constraint sets.
+
+The saturated instance is then handed to the extraction step
+(:mod:`repro.core.extraction`), which plays the role of the provenance-based
+enumeration of minimal rewritings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.core import Constraint, EGD, TGD
+from repro.chase.homomorphism import Binding, find_instance_matches, is_satisfied
+from repro.exceptions import ChaseBudgetExceeded, ChaseError
+from repro.vrem.atoms import Atom, Const, Var
+from repro.vrem.instance import VremInstance
+from repro.vrem.schema import infer_output_shapes, relation_spec
+
+Shape = Tuple[int, int]
+
+
+class CostThresholdPruner:
+    """Prune_prov-style pruning: drop derivations above a cost threshold.
+
+    ``threshold`` is an upper bound on the total cost of an acceptable
+    rewriting, measured (like the cost model of §7.1) in number of cells of
+    intermediate results.  A chase step that would create a *new* matrix
+    intermediate whose dense size alone exceeds the threshold can never be
+    part of a minimum-cost rewriting and is skipped.
+    """
+
+    def __init__(self, threshold: float):
+        self.threshold = float(threshold)
+        self.pruned_applications = 0
+
+    def allows(self, shape: Optional[Shape]) -> bool:
+        """Whether an intermediate of the given shape may be materialised."""
+        if shape is None:
+            return True
+        return float(shape[0]) * float(shape[1]) <= self.threshold
+
+    def tighten(self, new_threshold: float) -> None:
+        """Lower the threshold (monotonically) as better rewritings are found."""
+        self.threshold = min(self.threshold, float(new_threshold))
+
+
+@dataclass
+class SaturationResult:
+    """Statistics of one saturation run."""
+
+    rounds: int = 0
+    tgd_applications: int = 0
+    egd_applications: int = 0
+    pruned_applications: int = 0
+    reached_fixpoint: bool = False
+    elapsed_seconds: float = 0.0
+    atom_count: int = 0
+    class_count: int = 0
+    applications_by_constraint: Dict[str, int] = field(default_factory=dict)
+
+
+class SaturationEngine:
+    """Applies a constraint set to a VREM instance until fixpoint or budget."""
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        max_rounds: int = 6,
+        max_atoms: int = 20_000,
+        max_classes: int = 8_000,
+        raise_on_budget: bool = False,
+    ):
+        self.constraints = list(constraints)
+        self.max_rounds = max_rounds
+        self.max_atoms = max_atoms
+        self.max_classes = max_classes
+        self.raise_on_budget = raise_on_budget
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _resolve_term(term, binding: Binding, fresh: Dict[Var, int], instance: VremInstance):
+        if isinstance(term, Var):
+            if term in binding:
+                return binding[term]
+            if term not in fresh:
+                fresh[term] = instance.new_class()
+            return fresh[term]
+        return term
+
+    def _conclusion_new_shapes(
+        self,
+        tgd: TGD,
+        binding: Binding,
+        instance: VremInstance,
+    ) -> List[Optional[Shape]]:
+        """Estimate the shapes of intermediates a TGD application would create."""
+        shapes: List[Optional[Shape]] = []
+        known: Dict[Var, Optional[Shape]] = {}
+
+        def term_shape(term) -> Optional[Shape]:
+            if isinstance(term, Var):
+                if term in binding:
+                    value = binding[term]
+                    return instance.shape(value) if isinstance(value, int) else (1, 1)
+                return known.get(term)
+            if isinstance(term, int):
+                return instance.shape(term)
+            return (1, 1)
+
+        for atom in tgd.conclusion:
+            spec = relation_spec(atom.relation)
+            if spec.is_fact or not spec.output_positions:
+                continue
+            input_shapes = [term_shape(atom.args[pos]) for pos in spec.input_positions]
+            outputs = infer_output_shapes(atom.relation, input_shapes)
+            for pos, shape in zip(spec.output_positions, outputs):
+                term = atom.args[pos]
+                if isinstance(term, Var) and term not in binding:
+                    known[term] = shape
+                    if not spec.scalar_output:
+                        shapes.append(shape)
+        return shapes
+
+    # ------------------------------------------------------------------ TGDs
+    def _apply_tgd(
+        self,
+        tgd: TGD,
+        instance: VremInstance,
+        pruner: Optional[CostThresholdPruner],
+        stats: SaturationResult,
+    ) -> int:
+        applications = 0
+        matches = list(find_instance_matches(tgd.premise, instance))
+        for binding in matches:
+            if is_satisfied(tgd.conclusion, instance, binding):
+                continue
+            if pruner is not None:
+                new_shapes = self._conclusion_new_shapes(tgd, binding, instance)
+                if any(not pruner.allows(shape) for shape in new_shapes):
+                    pruner.pruned_applications += 1
+                    stats.pruned_applications += 1
+                    continue
+            fresh: Dict[Var, int] = {}
+            for atom in tgd.conclusion:
+                args = tuple(
+                    self._resolve_term(term, binding, fresh, instance) for term in atom.args
+                )
+                instance.add_atom(atom.relation, args, provenance=(tgd.name,))
+            applications += 1
+            stats.applications_by_constraint[tgd.name] = (
+                stats.applications_by_constraint.get(tgd.name, 0) + 1
+            )
+            if instance.num_atoms() > self.max_atoms or instance.num_classes() > self.max_classes:
+                break
+        return applications
+
+    # ------------------------------------------------------------------ EGDs
+    def _scalar_const_class(self, instance: VremInstance, value: float) -> int:
+        for atom in instance.atoms("scalar_const"):
+            if atom.args[1] == Const(value) or atom.args[1] == Const(float(value)):
+                return instance.find(atom.args[0])
+        cid = instance.new_class()
+        instance.add_atom("scalar_const", (cid, Const(float(value))))
+        instance.set_shape(cid, (1, 1))
+        instance.set_scalar_value(cid, float(value))
+        return cid
+
+    def _apply_egd(self, egd: EGD, instance: VremInstance, stats: SaturationResult) -> int:
+        applications = 0
+        matches = list(find_instance_matches(egd.premise, instance))
+        for binding in matches:
+            for left, right in egd.equalities:
+                left_value = binding.get(left, left) if isinstance(left, Var) else left
+                right_value = binding.get(right, right) if isinstance(right, Var) else right
+                if isinstance(left_value, Const) and not isinstance(right_value, Const):
+                    left_value, right_value = right_value, left_value
+                if isinstance(left_value, int) and isinstance(right_value, int):
+                    if instance.find(left_value) != instance.find(right_value):
+                        instance.union(left_value, right_value)
+                        instance.rebuild()
+                        applications += 1
+                elif isinstance(left_value, int) and isinstance(right_value, Const):
+                    value = right_value.value
+                    if isinstance(value, (int, float)):
+                        const_class = self._scalar_const_class(instance, float(value))
+                        if instance.find(left_value) != instance.find(const_class):
+                            instance.union(left_value, const_class)
+                            instance.rebuild()
+                            applications += 1
+                elif isinstance(left_value, Const) and isinstance(right_value, Const):
+                    if left_value.value != right_value.value:
+                        raise ChaseError(
+                            f"EGD {egd.name!r} equates distinct constants "
+                            f"{left_value.value!r} and {right_value.value!r}"
+                        )
+            if applications:
+                stats.applications_by_constraint[egd.name] = (
+                    stats.applications_by_constraint.get(egd.name, 0) + 1
+                )
+        return applications
+
+    # ------------------------------------------------------------------ main loop
+    def saturate(
+        self,
+        instance: VremInstance,
+        pruner: Optional[CostThresholdPruner] = None,
+    ) -> SaturationResult:
+        """Chase ``instance`` with the engine's constraints."""
+        stats = SaturationResult()
+        start = time.perf_counter()
+        for round_index in range(self.max_rounds):
+            stats.rounds = round_index + 1
+            changed = 0
+            for constraint in self.constraints:
+                if isinstance(constraint, TGD):
+                    changed += self._apply_tgd(constraint, instance, pruner, stats)
+                    stats.tgd_applications = stats.tgd_applications + 0  # kept for clarity
+                elif isinstance(constraint, EGD):
+                    changed += self._apply_egd(constraint, instance, stats)
+                else:  # pragma: no cover - defensive
+                    raise ChaseError(f"unsupported constraint type {type(constraint).__name__}")
+                if instance.num_atoms() > self.max_atoms or instance.num_classes() > self.max_classes:
+                    if self.raise_on_budget:
+                        raise ChaseBudgetExceeded(
+                            f"saturation exceeded budget: atoms={instance.num_atoms()}, "
+                            f"classes={instance.num_classes()}"
+                        )
+                    stats.elapsed_seconds = time.perf_counter() - start
+                    stats.atom_count = instance.num_atoms()
+                    stats.class_count = instance.num_classes()
+                    return stats
+            stats.tgd_applications = sum(
+                count
+                for name, count in stats.applications_by_constraint.items()
+                if any(c.name == name and isinstance(c, TGD) for c in self.constraints)
+            )
+            stats.egd_applications = sum(
+                count
+                for name, count in stats.applications_by_constraint.items()
+                if any(c.name == name and isinstance(c, EGD) for c in self.constraints)
+            )
+            if changed == 0:
+                stats.reached_fixpoint = True
+                break
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.atom_count = instance.num_atoms()
+        stats.class_count = instance.num_classes()
+        return stats

@@ -1,0 +1,227 @@
+"""Minimum-cost extraction from a saturated VREM instance.
+
+After the chase, every equivalence class of the instance may have several
+*derivations*: a leaf fact (a stored base matrix or materialized view, a
+scalar constant, the identity / zero matrix) or any operation atom producing
+it.  Each derivation of the query's root class corresponds to one equivalent
+rewriting; its cost is the summed size of the intermediates it materialises
+(§7.1).
+
+Extraction computes, by a Bellman-style fixpoint over classes, the cheapest
+derivation of every class and reconstructs the cheapest expression for the
+root.  This is the realisation of the provenance-based enumeration of
+minimal rewritings with cost pruning (Prune_prov, §7.3): derivations are
+costed exactly once per class (memoisation), partial derivations costlier
+than the best-known full derivation are never expanded, and cyclic
+derivations (introduced e.g. by involution constraints) are priced out by the
+fixpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cost.model import NnzInfo
+from repro.exceptions import DecodingError, RewriteError
+from repro.lang import matrix_expr as mx
+from repro.vrem.atoms import Atom
+from repro.vrem.decoder import decode_atom_to_expr, decode_fact_to_expr
+from repro.vrem.instance import VremInstance
+from repro.vrem.schema import relation_spec
+
+#: Small per-operator charge that breaks ties in favour of smaller expressions
+#: and guarantees strictly increasing cost along any derivation cycle.
+_OPERATOR_EPSILON = 1e-3
+
+_LEAF_RELATIONS = ("name", "scalar_const", "scalar_name", "identity", "zero")
+
+
+@dataclass
+class _Derivation:
+    """One way of producing a class: either a leaf fact or an op atom."""
+
+    atom: Atom
+    is_leaf: bool
+    output_index: int = 0
+    input_classes: Tuple[int, ...] = ()
+
+
+def _collect_derivations(instance: VremInstance) -> Dict[int, List[_Derivation]]:
+    derivations: Dict[int, List[_Derivation]] = {}
+    for relation in _LEAF_RELATIONS:
+        for atom in instance.atoms(relation):
+            cid = instance.find(atom.args[0])
+            derivations.setdefault(cid, []).append(_Derivation(atom=atom, is_leaf=True))
+    for atom in instance.atoms():
+        spec = relation_spec(atom.relation)
+        if spec.is_fact or not spec.output_positions:
+            continue
+        input_classes = tuple(
+            instance.find(atom.args[pos])
+            for pos in spec.input_positions
+            if isinstance(atom.args[pos], int)
+        )
+        for out_index, pos in enumerate(spec.output_positions):
+            arg = atom.args[pos]
+            if not isinstance(arg, int):
+                continue
+            cid = instance.find(arg)
+            derivations.setdefault(cid, []).append(
+                _Derivation(
+                    atom=atom,
+                    is_leaf=False,
+                    output_index=out_index,
+                    input_classes=input_classes,
+                )
+            )
+    return derivations
+
+
+def _class_size(cid: int, infos: Dict[int, NnzInfo]) -> float:
+    info = infos.get(cid)
+    return info.size if info is not None else 1.0
+
+
+def _compute_costs(
+    instance: VremInstance,
+    derivations: Dict[int, List[_Derivation]],
+    infos: Dict[int, NnzInfo],
+    max_passes: int = 25,
+) -> Tuple[Dict[int, float], Dict[int, _Derivation]]:
+    """Fixpoint computation of the cheapest derivation cost of every class."""
+    costs: Dict[int, float] = {}
+    choices: Dict[int, _Derivation] = {}
+    for cid, cands in derivations.items():
+        for derivation in cands:
+            if derivation.is_leaf:
+                costs[cid] = 0.0
+                choices[cid] = derivation
+                break
+    for _ in range(max_passes):
+        changed = False
+        for cid, cands in derivations.items():
+            best_cost = costs.get(cid, float("inf"))
+            best_choice = choices.get(cid)
+            for derivation in cands:
+                if derivation.is_leaf:
+                    candidate = 0.0
+                else:
+                    candidate = _class_size(cid, infos) + _OPERATOR_EPSILON
+                    feasible = True
+                    for input_cid in derivation.input_classes:
+                        input_cost = costs.get(input_cid)
+                        if input_cost is None:
+                            feasible = False
+                            break
+                        candidate += input_cost
+                    if not feasible:
+                        continue
+                if candidate < best_cost - 1e-12:
+                    best_cost = candidate
+                    best_choice = derivation
+            if best_choice is not None and (cid not in costs or best_cost < costs[cid] - 1e-12):
+                costs[cid] = best_cost
+                choices[cid] = best_choice
+                changed = True
+        if not changed:
+            break
+    return costs, choices
+
+
+def _reconstruct(
+    cid: int,
+    instance: VremInstance,
+    choices: Dict[int, _Derivation],
+    infos: Dict[int, NnzInfo],
+    _stack: Optional[set] = None,
+) -> mx.Expr:
+    _stack = _stack if _stack is not None else set()
+    cid = instance.find(cid)
+    if cid in _stack:
+        raise DecodingError(f"cyclic cheapest derivation through class {cid}")
+    derivation = choices.get(cid)
+    if derivation is None:
+        raise DecodingError(f"class {cid} has no extractable derivation")
+    if derivation.is_leaf:
+        shape = instance.shape(cid)
+        return decode_fact_to_expr(derivation.atom, shape)
+    _stack.add(cid)
+    try:
+        children = [
+            _reconstruct(input_cid, instance, choices, infos, _stack)
+            for input_cid in derivation.input_classes
+        ]
+    finally:
+        _stack.discard(cid)
+    return decode_atom_to_expr(derivation.atom, derivation.output_index, children)
+
+
+def extract_best_expression(
+    instance: VremInstance,
+    root: int,
+    infos: Dict[int, NnzInfo],
+) -> Tuple[mx.Expr, float]:
+    """The cheapest equivalent expression of the root class, with its DP cost."""
+    derivations = _collect_derivations(instance)
+    costs, choices = _compute_costs(instance, derivations, infos)
+    root = instance.find(root)
+    if root not in choices:
+        raise RewriteError("the root class has no extractable derivation")
+    expr = _reconstruct(root, instance, choices, infos)
+    return expr, costs[root]
+
+
+def enumerate_equivalent_expressions(
+    instance: VremInstance,
+    root: int,
+    infos: Dict[int, NnzInfo],
+    limit: int = 8,
+    max_depth: int = 12,
+) -> List[Tuple[mx.Expr, float]]:
+    """Enumerate up to ``limit`` distinct equivalent expressions of the root.
+
+    Expressions are produced cheapest-first using the per-class optimal costs
+    as lower bounds (a best-first search over the choice of the root's
+    derivation and, recursively, of its inputs' cheapest derivations).  This
+    mirrors Figure 4, where several equivalent reorderings of a pipeline are
+    listed alongside the views-based rewriting.
+    """
+    derivations = _collect_derivations(instance)
+    costs, choices = _compute_costs(instance, derivations, infos)
+    root = instance.find(root)
+    results: List[Tuple[mx.Expr, float]] = []
+    seen = set()
+
+    root_candidates: List[Tuple[float, int, _Derivation]] = []
+    for order, derivation in enumerate(derivations.get(root, [])):
+        if derivation.is_leaf:
+            bound = 0.0
+        else:
+            bound = _class_size(root, infos) + _OPERATOR_EPSILON
+            feasible = True
+            for input_cid in derivation.input_classes:
+                if input_cid not in costs:
+                    feasible = False
+                    break
+                bound += costs[input_cid]
+            if not feasible:
+                continue
+        heapq.heappush(root_candidates, (bound, order, derivation))
+
+    while root_candidates and len(results) < limit:
+        bound, _, derivation = heapq.heappop(root_candidates)
+        local_choices = dict(choices)
+        local_choices[root] = derivation
+        try:
+            expr = _reconstruct(root, instance, local_choices, infos)
+        except DecodingError:
+            continue
+        key = expr.signature()
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append((expr, bound))
+    results.sort(key=lambda pair: pair[1])
+    return results

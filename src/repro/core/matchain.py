@@ -1,0 +1,105 @@
+"""Optimal matrix-chain multiplication ordering.
+
+The chase explores re-associations of products through the associativity
+constraints, but for longer chains the number of parenthesisations grows as
+the Catalan numbers and the bounded chase may not enumerate the optimum.
+This module provides the classic O(n^3) dynamic program, minimising the sum
+of intermediate result sizes (the cost measure of §7.1), and applies it to
+every maximal multiplication chain of an expression as a final refinement —
+the same role SystemML's ``mmchain`` optimizer plays for that system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.catalog import Catalog
+from repro.exceptions import ShapeError, UnknownMatrixError
+from repro.lang import matrix_expr as mx
+from repro.lang.shapes import shape_of
+from repro.lang.visitor import transform_bottom_up
+
+Shape = Tuple[int, int]
+
+
+def _flatten_chain(expr: mx.Expr) -> List[mx.Expr]:
+    """The maximal multiplication chain rooted at ``expr`` (left to right)."""
+    if isinstance(expr, mx.MatMul):
+        return _flatten_chain(expr.left) + _flatten_chain(expr.right)
+    return [expr]
+
+
+def optimal_chain_order(shapes: Sequence[Shape]) -> Tuple[float, object]:
+    """Dynamic program over a chain of conformable matrices.
+
+    Returns ``(cost, split_tree)`` where the split tree is either an index
+    (single matrix) or a pair of sub-trees, and the cost is the total size of
+    all intermediate products (the final product excluded, matching γ).
+    """
+    n = len(shapes)
+    if n == 0:
+        raise ShapeError("cannot order an empty chain")
+    if n == 1:
+        return 0.0, 0
+    for left, right in zip(shapes, shapes[1:]):
+        if left[1] != right[0]:
+            raise ShapeError(f"non-conformable chain: {left} then {right}")
+    best_cost: Dict[Tuple[int, int], float] = {}
+    best_split: Dict[Tuple[int, int], Optional[int]] = {}
+    for i in range(n):
+        best_cost[(i, i)] = 0.0
+        best_split[(i, i)] = None
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            best_cost[(i, j)] = float("inf")
+            for k in range(i, j):
+                # Size of the product over [i..j] — charged only when it is
+                # an intermediate, i.e. when (i, j) is not the full chain.
+                size = float(shapes[i][0]) * float(shapes[j][1])
+                charge = 0.0 if (i == 0 and j == n - 1) else size
+                cost = best_cost[(i, k)] + best_cost[(k + 1, j)]
+                cost += 0.0 if i == k else float(shapes[i][0]) * float(shapes[k][1])
+                cost += 0.0 if k + 1 == j else float(shapes[k + 1][0]) * float(shapes[j][1])
+                if cost < best_cost[(i, j)]:
+                    best_cost[(i, j)] = cost
+                    best_split[(i, j)] = k
+
+    def build(i: int, j: int):
+        if i == j:
+            return i
+        k = best_split[(i, j)]
+        return (build(i, k), build(k + 1, j))
+
+    return best_cost[(0, n - 1)], build(0, n - 1)
+
+
+def _rebuild_from_split(split, factors: Sequence[mx.Expr]) -> mx.Expr:
+    if isinstance(split, int):
+        return factors[split]
+    left, right = split
+    return mx.MatMul(_rebuild_from_split(left, factors), _rebuild_from_split(right, factors))
+
+
+def optimize_matmul_chains(expr: mx.Expr, catalog: Optional[Catalog]) -> mx.Expr:
+    """Re-associate every multiplication chain of ``expr`` optimally.
+
+    Chains whose factor shapes cannot be resolved are left untouched.
+    """
+    if catalog is None:
+        return expr
+
+    def rewrite(node: mx.Expr) -> mx.Expr:
+        if not isinstance(node, mx.MatMul):
+            return node
+        factors = _flatten_chain(node)
+        if len(factors) < 3:
+            return node
+        try:
+            shapes = [shape_of(factor, catalog) for factor in factors]
+            _, split = optimal_chain_order(shapes)
+        except (ShapeError, UnknownMatrixError):
+            return node
+        return _rebuild_from_split(split, factors)
+
+    return transform_bottom_up(expr, rewrite)

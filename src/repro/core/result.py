@@ -1,0 +1,62 @@
+"""Result object returned by the optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chase.saturation import SaturationResult
+from repro.lang import matrix_expr as mx
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of one ``HadadOptimizer.rewrite`` call.
+
+    Attributes
+    ----------
+    original:
+        The input expression.
+    best:
+        The minimum-cost equivalent expression found (the input itself when
+        no cheaper alternative exists).
+    original_cost / best_cost:
+        γ estimates under the optimizer's cost model.
+    changed:
+        Whether ``best`` differs structurally from ``original``.
+    rewrite_seconds:
+        Wall-clock time spent by the optimizer (the paper's RW_find).
+    alternatives:
+        Further equivalent expressions with their costs, cheapest first
+        (bounded; used by reports and tests, cf. Figure 4).
+    saturation:
+        Chase statistics.
+    used_views:
+        Names of materialized views referenced by ``best``.
+    """
+
+    original: mx.Expr
+    best: mx.Expr
+    original_cost: float
+    best_cost: float
+    changed: bool
+    rewrite_seconds: float
+    alternatives: List[Tuple[mx.Expr, float]] = field(default_factory=list)
+    saturation: Optional[SaturationResult] = None
+    used_views: List[str] = field(default_factory=list)
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Ratio of estimated costs (>= 1 when the rewriting should help)."""
+        if self.best_cost <= 0:
+            return float("inf") if self.original_cost > 0 else 1.0
+        return self.original_cost / self.best_cost
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        marker = "rewritten" if self.changed else "unchanged"
+        return (
+            f"[{marker}] cost {self.original_cost:.3g} -> {self.best_cost:.3g} "
+            f"({self.estimated_speedup:.2f}x est.) in {self.rewrite_seconds * 1000:.1f} ms: "
+            f"{self.best.to_string()}"
+        )

@@ -1,0 +1,34 @@
+"""Cost model and sparsity estimators (paper §7.1 / §7.2).
+
+The cost γ(E) of an expression is the sum of the (estimated) sizes of its
+intermediate results when it is evaluated "as stated", where the size of a
+sparse intermediate counts only its non-zero cells.  Two estimators for the
+number of non-zeros are provided, mirroring the paper:
+
+* :class:`~repro.cost.naive_estimator.NaiveMetadataEstimator` — worst-case
+  propagation from base-matrix metadata only (no runtime overhead);
+* :class:`~repro.cost.mnc_estimator.MNCEstimator` — the MNC count-histogram
+  estimator, which builds per-row / per-column non-zero-count histograms for
+  the base matrices and derives histograms for intermediates during
+  optimization (more accurate, slight overhead).
+"""
+
+from repro.cost.model import (
+    NnzInfo,
+    CostModel,
+    expression_cost,
+    annotate_expression,
+    annotate_instance_classes,
+)
+from repro.cost.naive_estimator import NaiveMetadataEstimator
+from repro.cost.mnc_estimator import MNCEstimator
+
+__all__ = [
+    "NnzInfo",
+    "CostModel",
+    "expression_cost",
+    "annotate_expression",
+    "annotate_instance_classes",
+    "NaiveMetadataEstimator",
+    "MNCEstimator",
+]

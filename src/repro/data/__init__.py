@@ -1,0 +1,24 @@
+"""Data layer: matrix values, relational tables, catalogs, I/O and generators.
+
+This package is the stand-in for the storage engines the paper runs on
+(CSV/MTX files, Parquet tables).  It provides
+
+* :class:`~repro.data.matrix.MatrixData` / :class:`~repro.data.matrix.MatrixMeta`
+  — dense or sparse matrix values with the metadata (dimensions, nnz,
+  structural type) that the naive and MNC sparsity estimators consume,
+* :class:`~repro.data.table.Table` — a small in-memory column store used by
+  the relational engine for the hybrid experiments,
+* :class:`~repro.data.catalog.Catalog` — the name → data/metadata registry
+  shared by the optimizer and all execution backends,
+* :mod:`~repro.data.io` — CSV and MatrixMarket readers/writers,
+* :mod:`~repro.data.generators` — synthetic matrices reproducing the shapes
+  and sparsities of Tables 4 and 5, and
+* :mod:`~repro.data.datasets` — the synthetic Twitter-like and MIMIC-like
+  hybrid datasets used by the micro-hybrid benchmark (Figures 10 and 11).
+"""
+
+from repro.data.matrix import MatrixData, MatrixMeta, MatrixType
+from repro.data.table import Table
+from repro.data.catalog import Catalog
+
+__all__ = ["MatrixData", "MatrixMeta", "MatrixType", "Table", "Catalog"]

@@ -1,0 +1,160 @@
+"""Synthetic matrix generators reproducing Tables 4 and 5.
+
+The paper's LA benchmark uses (i) dense synthetic matrices Syn1..Syn10 and
+(ii) real-world sparse matrices (Amazon / Netflix review subsets, the
+dielFilterV3real and 2D_54019_highK matrices).  The real datasets are not
+redistributable, so this module generates synthetic stand-ins with the same
+*shape* and *sparsity* (Table 4) — the two quantities the rewriting decisions
+and the cost model depend on.
+
+Every generator accepts a ``scale`` factor so the whole benchmark can run on
+a laptop: all dimensions are multiplied by ``scale`` through
+:func:`scale_dim`, which preserves equality of dimensions (so conformability
+of the benchmark pipelines is preserved) and never goes below a small
+minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.catalog import Catalog
+from repro.data.matrix import MatrixData, MatrixType
+
+#: Dimensions of the dense synthetic matrices (Table 5), at paper scale.
+SYNTHETIC_DIMS: Dict[str, Tuple[int, int]] = {
+    "Syn1": (50_000, 100),
+    "Syn2": (100, 50_000),
+    "Syn3": (1_000_000, 100),
+    "Syn4": (5_000_000, 100),
+    "Syn5": (10_000, 10_000),
+    "Syn6": (20_000, 20_000),
+    "Syn7": (100, 1),
+    "Syn8": (50_000, 1),
+    "Syn9": (100_000, 1),
+    "Syn10": (100, 100),
+}
+
+#: Shapes and sparsities of the real sparse datasets (Table 4), at paper scale.
+REAL_DATASETS: Dict[str, Tuple[int, int, float]] = {
+    "DFV": (1_000_000, 100, 0.000080),
+    "2D_54019": (50_000, 100, 0.000740),
+    "AS": (50_000, 100, 0.000075),
+    "AM": (100_000, 100, 0.000067),
+    "AL1": (1_000_000, 100, 0.000065),
+    "AL2": (10_000_000, 100, 0.000011),
+    "AL3": (100_000, 50_000, 0.000020),
+    "NS": (50_000, 100, 0.013911),
+    "NM": (100_000, 100, 0.013934),
+    "NL1": (1_000_000, 100, 0.006654),
+    "NL2": (10_000_000, 100, 0.000665),
+    "NL3": (100_000, 50_000, 0.003070),
+}
+
+DEFAULT_SCALE = 0.01
+_MIN_DIM = 2
+
+
+def scale_dim(dim: int, scale: float, min_dim: int = _MIN_DIM) -> int:
+    """Scale a paper-sized dimension down for laptop execution.
+
+    Dimensions of at most 200 are kept as-is (they are feature counts /
+    vector widths whose value matters for the pipelines); larger dimensions
+    are multiplied by ``scale`` and floored at ``min_dim``.  The mapping is
+    deterministic, so equal dimensions stay equal and all pipelines remain
+    conformable after scaling.
+    """
+    if scale >= 1.0 or dim <= 200:
+        return dim
+    return max(int(round(dim * scale)), min_dim)
+
+
+def dense_matrix(
+    name: str,
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    matrix_type: str = MatrixType.GENERAL,
+) -> MatrixData:
+    """A dense uniform(0, 1) matrix of the given shape."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((rows, cols))
+    return MatrixData.from_dense(name, values, matrix_type)
+
+
+def sparse_matrix(
+    name: str,
+    rows: int,
+    cols: int,
+    sparsity: float,
+    seed: int = 0,
+) -> MatrixData:
+    """A random sparse matrix with the given fraction of non-zeros."""
+    rng = np.random.default_rng(seed)
+    values = sparse.random(
+        rows, cols, density=min(max(sparsity, 0.0), 1.0), random_state=rng, format="csr"
+    )
+    return MatrixData.from_sparse(name, values)
+
+
+def spd_matrix(name: str, n: int, seed: int = 0) -> MatrixData:
+    """A symmetric positive definite matrix (for the decomposition constraints)."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, n))
+    values = base @ base.T + n * np.eye(n)
+    return MatrixData.from_dense(name, values, MatrixType.SYMMETRIC_PD)
+
+
+def well_conditioned_square(name: str, n: int, seed: int = 0) -> MatrixData:
+    """A dense, invertible square matrix (diagonally dominated)."""
+    rng = np.random.default_rng(seed)
+    values = rng.random((n, n)) + n * np.eye(n)
+    return MatrixData.from_dense(name, values)
+
+
+def synthetic(name: str, scale: float = DEFAULT_SCALE, seed: Optional[int] = None) -> MatrixData:
+    """Generate one of the Syn1..Syn10 matrices of Table 5 (scaled)."""
+    if name not in SYNTHETIC_DIMS:
+        raise KeyError(f"unknown synthetic matrix {name!r}; expected one of {sorted(SYNTHETIC_DIMS)}")
+    rows, cols = SYNTHETIC_DIMS[name]
+    rows, cols = scale_dim(rows, scale), scale_dim(cols, scale)
+    seed = seed if seed is not None else abs(hash(name)) % (2**31)
+    if rows == cols:
+        # Square synthetic matrices are used under inverse/determinant in the
+        # benchmark, so make them comfortably invertible.
+        return well_conditioned_square(name, rows, seed=seed)
+    return dense_matrix(name, rows, cols, seed=seed)
+
+
+def real_like(name: str, scale: float = DEFAULT_SCALE, seed: Optional[int] = None) -> MatrixData:
+    """Generate a synthetic stand-in for one of the Table 4 sparse datasets."""
+    if name not in REAL_DATASETS:
+        raise KeyError(f"unknown real dataset {name!r}; expected one of {sorted(REAL_DATASETS)}")
+    rows, cols, sparsity = REAL_DATASETS[name]
+    rows, cols = scale_dim(rows, scale), scale_dim(cols, scale)
+    # Keep at least a handful of non-zeros after scaling.
+    sparsity = max(sparsity, 10.0 / (rows * cols))
+    seed = seed if seed is not None else abs(hash(name)) % (2**31)
+    return sparse_matrix(name, rows, cols, sparsity, seed=seed)
+
+
+def standard_catalog(scale: float = DEFAULT_SCALE, include_real: bool = True) -> Catalog:
+    """A catalog pre-populated with every Table 4/5 matrix (scaled).
+
+    This is the data environment used by the LA benchmark harness and by
+    most integration tests.  Matrix names match Table 5 / Table 4 names so
+    the Table 6 role bindings of :mod:`repro.benchkit.pipelines` resolve
+    directly.
+    """
+    catalog = Catalog()
+    for name in SYNTHETIC_DIMS:
+        catalog.register_matrix(synthetic(name, scale=scale))
+    if include_real:
+        for name in REAL_DATASETS:
+            catalog.register_matrix(real_like(name, scale=scale))
+    catalog.register_scalar("s1", 2.5)
+    catalog.register_scalar("s2", 4.0)
+    return catalog

@@ -1,0 +1,24 @@
+"""Hybrid (RA + LA) queries and their optimization.
+
+A hybrid query (§9.2.2) has a relational preprocessing part Q_RA — joins,
+selections and projections building feature matrices — and an LA analysis
+part Q_LA over those matrices.  HADAD optimizes both: the RA part is
+rewritten against relational views with the PACB engine, and the LA part is
+rewritten against LA / hybrid views with the VREM saturation engine, with
+the Morpheus factorization rules bridging the two sides (a join-produced
+matrix is declared *normalized* so that operators over it can be pushed to
+the base tables and matched against hybrid views).
+"""
+
+from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
+from repro.hybrid.optimizer import HybridOptimizer, HybridRewriteResult
+from repro.hybrid.executor import HybridExecutor
+
+__all__ = [
+    "HybridQuery",
+    "JoinFeatureMatrix",
+    "PivotSparseMatrix",
+    "HybridOptimizer",
+    "HybridRewriteResult",
+    "HybridExecutor",
+]

@@ -1,0 +1,113 @@
+"""Execution of hybrid queries: Q_RA on the relational engine, Q_LA on an LA backend."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.backends.base import Value
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.relational import RelationalEngine
+from repro.data.catalog import Catalog
+from repro.data.datasets import fact_table_to_sparse
+from repro.data.matrix import MatrixData
+from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
+from repro.lang import matrix_expr as mx
+from repro.lang import relational_expr as rx
+
+
+@dataclass
+class HybridExecutionResult:
+    """Timing breakdown of one hybrid query execution."""
+
+    value: Value
+    ra_seconds: float
+    la_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ra_seconds + self.la_seconds
+
+
+class HybridExecutor:
+    """Runs hybrid queries over a catalog of tables and matrices."""
+
+    def __init__(self, catalog: Catalog, la_backend=None):
+        self.catalog = catalog
+        self.relational = RelationalEngine(catalog)
+        self.la_backend = la_backend if la_backend is not None else NumpyBackend(catalog)
+
+    # -- Q_RA ------------------------------------------------------------------
+    def build_matrix(self, builder) -> MatrixData:
+        """Materialize one matrix builder and register it in the catalog."""
+        if isinstance(builder, JoinFeatureMatrix):
+            joined = self.relational.evaluate(
+                rx.Join(
+                    rx.TableRef(builder.left_table),
+                    rx.TableRef(builder.right_table),
+                    builder.key,
+                    builder.key,
+                )
+            )
+            values = joined.to_matrix(builder.left_columns + builder.right_columns)
+            data = MatrixData.from_dense(builder.name, values)
+        elif isinstance(builder, PivotSparseMatrix):
+            plan = builder.relational_plan()
+            table = self.relational.evaluate(plan)
+            matrix = fact_table_to_sparse(
+                table,
+                builder.n_rows,
+                builder.n_cols,
+                builder.row_key,
+                builder.col_key,
+                builder.measure,
+            )
+            if builder.measure_filter is not None:
+                comparator, threshold = builder.measure_filter
+                matrix = _filter_sparse_values(matrix, comparator, threshold)
+            data = MatrixData.from_sparse(builder.name, matrix)
+        else:
+            raise TypeError(f"unknown matrix builder {type(builder).__name__}")
+        self.catalog.register_matrix(data, overwrite=True)
+        return data
+
+    # -- full query -----------------------------------------------------------------
+    def execute(
+        self,
+        query: HybridQuery,
+        analysis_override: Optional[mx.Expr] = None,
+        skip_builders: bool = False,
+    ) -> HybridExecutionResult:
+        """Run the RA part (unless already materialized) and the LA part."""
+        ra_start = time.perf_counter()
+        if not skip_builders:
+            for builder in query.builders:
+                self.build_matrix(builder)
+        ra_seconds = time.perf_counter() - ra_start
+
+        expr = analysis_override if analysis_override is not None else query.analysis
+        la_start = time.perf_counter()
+        value = self.la_backend.evaluate(expr)
+        la_seconds = time.perf_counter() - la_start
+        return HybridExecutionResult(value=value, ra_seconds=ra_seconds, la_seconds=la_seconds)
+
+
+def _filter_sparse_values(matrix: sparse.spmatrix, comparator: str, threshold: float):
+    """Keep only the cells satisfying ``value <comparator> threshold``."""
+    csr = sparse.csr_matrix(matrix, copy=True)
+    ops = {
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+        "==": np.equal,
+        "!=": np.not_equal,
+    }
+    keep = ops[comparator](csr.data, threshold)
+    csr.data = np.where(keep, csr.data, 0.0)
+    csr.eliminate_zeros()
+    return csr

@@ -1,0 +1,171 @@
+"""The hybrid optimizer: combined RA and LA rewriting of hybrid queries.
+
+For the LA analysis part, the ordinary :class:`~repro.core.HadadOptimizer`
+is used, extended with
+
+* the Morpheus factorization rules (a :class:`JoinFeatureMatrix` builder is
+  declared as a *normalized matrix* over its base-table factors, so that
+  aggregates over it can be pushed down and matched against hybrid views);
+* the hybrid materialized views supplied by the caller (LA views whose
+  definitions reference the base-table matrices).
+
+For the RA preprocessing part, relational materialized views (conjunctive
+queries) can be used through the PACB engine: when a builder's relational
+plan is equivalent to a view, the builder reads the view instead of the base
+tables.  The result records both decisions so the executor / harness can run
+the optimized query end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.backends.relational import RelationalEngine
+from repro.constraints.views import LAView
+from repro.core.optimizer import HadadOptimizer
+from repro.core.result import RewriteResult
+from repro.data.catalog import Catalog
+from repro.data.matrix import MatrixData, MatrixMeta
+from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
+
+
+@dataclass
+class HybridRewriteResult:
+    """Outcome of optimizing one hybrid query."""
+
+    query: HybridQuery
+    la_result: RewriteResult
+    ra_view_substitutions: Dict[str, str] = field(default_factory=dict)
+    rewrite_seconds: float = 0.0
+
+    @property
+    def optimized_analysis(self):
+        return self.la_result.best
+
+    @property
+    def changed(self) -> bool:
+        return self.la_result.changed or bool(self.ra_view_substitutions)
+
+
+class HybridOptimizer:
+    """Optimizes hybrid queries (both their RA and LA parts)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        la_views: Sequence[LAView] = (),
+        relational_view_tables: Optional[Dict[str, str]] = None,
+        estimator=None,
+        factor_names: Optional[Dict[str, Tuple[str, str, str]]] = None,
+        max_rounds: int = 4,
+    ):
+        """
+        Parameters
+        ----------
+        la_views:
+            Hybrid / LA materialized views available to the LA rewriting.
+        relational_view_tables:
+            Mapping ``builder name -> table name`` declaring that a stored
+            table materializes exactly the relational plan of that builder
+            (the V1/V2-style relational views of §2); the optimizer then
+            substitutes the view for the builder's base-table plan.
+        factor_names:
+            Mapping ``matrix name -> (S, K, R)`` matrix names declaring a
+            builder's output as a Morpheus normalized matrix; defaults are
+            derived automatically for :class:`JoinFeatureMatrix` builders
+            whose factor matrices are registered in the catalog.
+        """
+        self.catalog = catalog
+        self.la_views = list(la_views)
+        self.relational_view_tables = dict(relational_view_tables or {})
+        self.estimator = estimator
+        self.factor_names = dict(factor_names or {})
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------ factors
+    def ensure_factor_matrices(self, query: HybridQuery) -> Dict[str, Tuple[str, str, str]]:
+        """Materialize (S, K, R) factor matrices for the join builders.
+
+        For a :class:`JoinFeatureMatrix` named ``M`` over tables T and U, the
+        factors are registered as ``M__S`` (T's feature columns), ``M__K``
+        (the PK-FK indicator) and ``M__R`` (U's feature columns) unless the
+        caller already supplied factor names.
+        """
+        factors = dict(self.factor_names)
+        engine = RelationalEngine(self.catalog)
+        for builder in query.builders:
+            if not isinstance(builder, JoinFeatureMatrix) or builder.name in factors:
+                continue
+            left = self.catalog.table(builder.left_table)
+            right = self.catalog.table(builder.right_table)
+            s_values = left.to_matrix(builder.left_columns)
+            r_values = right.to_matrix(builder.right_columns)
+            left_keys = np.asarray(left.column(builder.key), dtype=np.int64)
+            right_keys = np.asarray(right.column(builder.key), dtype=np.int64)
+            position_of = {int(key): idx for idx, key in enumerate(right_keys)}
+            cols = np.asarray([position_of[int(key)] for key in left_keys], dtype=np.int64)
+            indicator = sparse.csr_matrix(
+                (np.ones(len(cols)), (np.arange(len(cols)), cols)),
+                shape=(len(left_keys), len(right_keys)),
+            )
+            s_name, k_name, r_name = f"{builder.name}__S", f"{builder.name}__K", f"{builder.name}__R"
+            self.catalog.register_dense(s_name, s_values, overwrite=True)
+            self.catalog.register_sparse(k_name, indicator, overwrite=True)
+            self.catalog.register_dense(r_name, r_values, overwrite=True)
+            factors[builder.name] = (s_name, k_name, r_name)
+        return factors
+
+    # ------------------------------------------------------------------ main entry
+    def rewrite(self, query: HybridQuery, materialize_factors: bool = True) -> HybridRewriteResult:
+        start = time.perf_counter()
+        factors = (
+            self.ensure_factor_matrices(query) if materialize_factors else dict(self.factor_names)
+        )
+        # Declare metadata for builder outputs that are not materialized yet,
+        # so the LA cost model can reason about them.
+        for builder in query.builders:
+            if self.catalog.has_matrix(builder.name):
+                continue
+            if isinstance(builder, JoinFeatureMatrix):
+                rows = self.catalog.table(builder.left_table).n_rows
+                self.catalog.register_metadata(
+                    MatrixMeta(builder.name, rows, builder.n_features, rows * builder.n_features)
+                )
+            elif isinstance(builder, PivotSparseMatrix):
+                facts = self.catalog.table(builder.fact_table).n_rows
+                self.catalog.register_metadata(
+                    MatrixMeta(
+                        builder.name,
+                        builder.n_rows,
+                        builder.n_cols,
+                        min(facts, builder.n_rows * builder.n_cols),
+                    )
+                )
+
+        la_optimizer = HadadOptimizer(
+            catalog=self.catalog,
+            views=self.la_views,
+            estimator=self.estimator,
+            include_morpheus_rules=bool(factors),
+            normalized_matrices=factors,
+            max_rounds=self.max_rounds,
+        )
+        la_result = la_optimizer.rewrite(query.analysis)
+
+        substitutions: Dict[str, str] = {}
+        for builder in query.builders:
+            view_table = self.relational_view_tables.get(builder.name)
+            if view_table is not None and self.catalog.has_table(view_table):
+                substitutions[builder.name] = view_table
+
+        return HybridRewriteResult(
+            query=query,
+            la_result=la_result,
+            ra_view_substitutions=substitutions,
+            rewrite_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,262 @@
+"""User-facing constructors for the hybrid expression language.
+
+These helpers provide a flat, functional surface syntax so that benchmark
+pipelines can be written almost exactly as they appear in the paper, e.g.::
+
+    from repro.lang import matrix, inv, transpose, colsums
+
+    M = matrix("M.csv")
+    N = matrix("N.csv")
+    p1_12 = colsums(M @ N)                       # colSums(MN)
+    ols   = inv(transpose(X) @ X) @ (transpose(X) @ y)
+
+Every helper simply instantiates the corresponding AST node, coercing plain
+numbers to :class:`~repro.lang.matrix_expr.ScalarConst`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.lang import matrix_expr as mx
+from repro.lang import relational_expr as rx
+
+Number = Union[int, float]
+ExprLike = Union[mx.Expr, Number]
+
+
+def _e(value: ExprLike) -> mx.Expr:
+    if isinstance(value, mx.Expr):
+        return value
+    return mx.ScalarConst(float(value))
+
+
+# -- leaves -----------------------------------------------------------------
+
+
+def matrix(name: str) -> mx.MatrixRef:
+    """A reference to a stored matrix (base matrix or materialized view)."""
+    return mx.MatrixRef(name)
+
+
+def scalar(value: Union[str, Number]) -> mx.Expr:
+    """A scalar literal (number) or named scalar input (string)."""
+    if isinstance(value, str):
+        return mx.ScalarRef(value)
+    return mx.ScalarConst(float(value))
+
+
+def identity(n: int) -> mx.Identity:
+    """The n x n identity matrix."""
+    return mx.Identity(n)
+
+
+def zeros(rows: int, cols: int) -> mx.Zero:
+    """The rows x cols zero matrix."""
+    return mx.Zero(rows, cols)
+
+
+# -- unary matrix -> matrix ---------------------------------------------------
+
+
+def transpose(expr: ExprLike) -> mx.Transpose:
+    return mx.Transpose(_e(expr))
+
+
+def inv(expr: ExprLike) -> mx.Inverse:
+    return mx.Inverse(_e(expr))
+
+
+def mat_exp(expr: ExprLike) -> mx.MatExp:
+    return mx.MatExp(_e(expr))
+
+
+def adjoint(expr: ExprLike) -> mx.Adjoint:
+    return mx.Adjoint(_e(expr))
+
+
+def diag(expr: ExprLike) -> mx.Diag:
+    return mx.Diag(_e(expr))
+
+
+def rev(expr: ExprLike) -> mx.Rev:
+    return mx.Rev(_e(expr))
+
+
+def rowsums(expr: ExprLike) -> mx.RowSums:
+    return mx.RowSums(_e(expr))
+
+
+def colsums(expr: ExprLike) -> mx.ColSums:
+    return mx.ColSums(_e(expr))
+
+
+def rowmeans(expr: ExprLike) -> mx.RowMeans:
+    return mx.RowMeans(_e(expr))
+
+
+def colmeans(expr: ExprLike) -> mx.ColMeans:
+    return mx.ColMeans(_e(expr))
+
+
+def rowmax(expr: ExprLike) -> mx.RowMax:
+    return mx.RowMax(_e(expr))
+
+
+def colmax(expr: ExprLike) -> mx.ColMax:
+    return mx.ColMax(_e(expr))
+
+
+def rowmin(expr: ExprLike) -> mx.RowMin:
+    return mx.RowMin(_e(expr))
+
+
+def colmin(expr: ExprLike) -> mx.ColMin:
+    return mx.ColMin(_e(expr))
+
+
+def rowvar(expr: ExprLike) -> mx.RowVar:
+    return mx.RowVar(_e(expr))
+
+
+def colvar(expr: ExprLike) -> mx.ColVar:
+    return mx.ColVar(_e(expr))
+
+
+# -- unary matrix -> scalar ----------------------------------------------------
+
+
+def det(expr: ExprLike) -> mx.Det:
+    return mx.Det(_e(expr))
+
+
+def trace(expr: ExprLike) -> mx.Trace:
+    return mx.Trace(_e(expr))
+
+
+def sum_all(expr: ExprLike) -> mx.SumAll:
+    return mx.SumAll(_e(expr))
+
+
+def mean_all(expr: ExprLike) -> mx.MeanAll:
+    return mx.MeanAll(_e(expr))
+
+
+def var_all(expr: ExprLike) -> mx.VarAll:
+    return mx.VarAll(_e(expr))
+
+
+def min_all(expr: ExprLike) -> mx.MinAll:
+    return mx.MinAll(_e(expr))
+
+
+def max_all(expr: ExprLike) -> mx.MaxAll:
+    return mx.MaxAll(_e(expr))
+
+
+# -- binary -------------------------------------------------------------------
+
+
+def matmul(left: ExprLike, right: ExprLike) -> mx.MatMul:
+    return mx.MatMul(_e(left), _e(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> mx.Add:
+    return mx.Add(_e(left), _e(right))
+
+
+def sub(left: ExprLike, right: ExprLike) -> mx.Sub:
+    return mx.Sub(_e(left), _e(right))
+
+
+def elem_div(left: ExprLike, right: ExprLike) -> mx.ElemDiv:
+    return mx.ElemDiv(_e(left), _e(right))
+
+
+def hadamard(left: ExprLike, right: ExprLike) -> mx.Hadamard:
+    return mx.Hadamard(_e(left), _e(right))
+
+
+def scalar_mul(scalar_expr: ExprLike, matrix_expr: ExprLike) -> mx.ScalarMul:
+    return mx.ScalarMul(_e(scalar_expr), _e(matrix_expr))
+
+
+def direct_sum(left: ExprLike, right: ExprLike) -> mx.DirectSum:
+    return mx.DirectSum(_e(left), _e(right))
+
+
+def direct_product(left: ExprLike, right: ExprLike) -> mx.DirectProduct:
+    return mx.DirectProduct(_e(left), _e(right))
+
+
+def mat_pow(expr: ExprLike, exponent: int) -> mx.MatPow:
+    return mx.MatPow(_e(expr), exponent)
+
+
+# -- decompositions -------------------------------------------------------------
+
+
+def cholesky(expr: ExprLike) -> mx.CholeskyFactor:
+    """The lower-triangular Cholesky factor L with M = L L^T."""
+    return mx.CholeskyFactor(_e(expr))
+
+
+def qr_q(expr: ExprLike) -> mx.QRFactorQ:
+    return mx.QRFactorQ(_e(expr))
+
+
+def qr_r(expr: ExprLike) -> mx.QRFactorR:
+    return mx.QRFactorR(_e(expr))
+
+
+def lu_l(expr: ExprLike) -> mx.LUFactorL:
+    return mx.LUFactorL(_e(expr))
+
+
+def lu_u(expr: ExprLike) -> mx.LUFactorU:
+    return mx.LUFactorU(_e(expr))
+
+
+def lup_l(expr: ExprLike) -> mx.LUPFactorL:
+    return mx.LUPFactorL(_e(expr))
+
+
+def lup_u(expr: ExprLike) -> mx.LUPFactorU:
+    return mx.LUPFactorU(_e(expr))
+
+
+def lup_p(expr: ExprLike) -> mx.LUPFactorP:
+    return mx.LUPFactorP(_e(expr))
+
+
+# -- relational ------------------------------------------------------------------
+
+
+def table(name: str) -> rx.TableRef:
+    """A scan of a stored base table."""
+    return rx.TableRef(name)
+
+
+def select(child: rx.RelExpr, *predicates: rx.Predicate) -> rx.Selection:
+    """Relational selection with one or more conjunctive predicates."""
+    return rx.Selection(child, predicates)
+
+
+def project(child: rx.RelExpr, columns: Sequence[str]) -> rx.Projection:
+    """Relational projection onto the given column list."""
+    return rx.Projection(child, columns)
+
+
+def join(left: rx.RelExpr, right: rx.RelExpr, left_key: str, right_key: str) -> rx.Join:
+    """Equi-join of two relational expressions."""
+    return rx.Join(left, right, left_key, right_key)
+
+
+def to_matrix(child: rx.RelExpr, columns: Sequence[str], name: str = None) -> rx.TableToMatrix:
+    """Cast a relational result into a matrix over the given numeric columns."""
+    return rx.TableToMatrix(child, columns, name)
+
+
+def to_table(matrix_expr: mx.Expr, columns: Sequence[str]) -> rx.MatrixToTable:
+    """Cast a matrix-valued LA expression into a relation."""
+    return rx.MatrixToTable(matrix_expr, columns)

@@ -1,0 +1,73 @@
+"""Traversal and transformation utilities over LA expressions.
+
+These are the small generic helpers that the optimizer, the backends and the
+tests all share: pre-order iteration, bottom-up rewriting, node counting and
+leaf-reference collection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Set, Tuple
+
+from repro.lang import matrix_expr as mx
+
+
+def walk(expr: mx.Expr) -> Iterator[mx.Expr]:
+    """Yield every node of ``expr`` in pre-order (root first)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def count_nodes(expr: mx.Expr) -> int:
+    """Number of AST nodes in the expression."""
+    return sum(1 for _ in walk(expr))
+
+
+def collect_refs(expr: mx.Expr) -> Set[str]:
+    """The set of leaf matrix / scalar names referenced by the expression."""
+    names = set()
+    for node in walk(expr):
+        if isinstance(node, (mx.MatrixRef, mx.ScalarRef)):
+            names.add(node.name)
+    return names
+
+
+def _rebuild(node: mx.Expr, children: Tuple[mx.Expr, ...]) -> mx.Expr:
+    """Re-create ``node`` with new children, preserving its payload."""
+    if children == node.children:
+        return node
+    cls = type(node)
+    if isinstance(node, mx.MatPow):
+        return mx.MatPow(children[0], node.exponent)
+    if node.arity == 1:
+        return cls(children[0])
+    if node.arity == 2:
+        return cls(children[0], children[1])
+    # Leaves have no children and are returned unchanged above.
+    return node
+
+
+def transform_bottom_up(expr: mx.Expr, fn: Callable[[mx.Expr], mx.Expr]) -> mx.Expr:
+    """Rewrite ``expr`` bottom-up, applying ``fn`` at every node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    returns either the same node or a replacement.  This is the workhorse
+    used by the SystemML-like backend to apply its static rewrite rules and
+    by the tests to build expression variants.
+    """
+    new_children = tuple(transform_bottom_up(child, fn) for child in expr.children)
+    rebuilt = _rebuild(expr, new_children)
+    result = fn(rebuilt)
+    if not isinstance(result, mx.Expr):
+        raise TypeError("transform_bottom_up callback must return an Expr")
+    return result
+
+
+def expression_depth(expr: mx.Expr) -> int:
+    """Height of the expression tree (a single leaf has depth 1)."""
+    if not expr.children:
+        return 1
+    return 1 + max(expression_depth(child) for child in expr.children)

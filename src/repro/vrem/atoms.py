@@ -1,0 +1,75 @@
+"""Terms and atoms of the VREM encoding.
+
+Three kinds of terms appear in atoms:
+
+* **class IDs** — plain ``int``s naming an equivalence class of expressions
+  in a :class:`~repro.vrem.instance.VremInstance`;
+* **constants** — :class:`Const`, wrapping matrix storage names, numeric
+  literals and structural type tags;
+* **variables** — :class:`Var`, used only inside constraints (TGDs / EGDs)
+  and conjunctive queries, never inside a ground instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term (matrix name, scalar value, type tag, dimension)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"~{self.value!r}"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable term; only meaningful inside constraints and queries."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[int, Const, Var]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A (possibly non-ground) atom ``relation(arg_1, ..., arg_n)``."""
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.relation}({inner})"
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return not any(isinstance(arg, Var) for arg in self.args)
+
+    def variables(self) -> Tuple[Var, ...]:
+        """The variables occurring in the atom, in argument order."""
+        return tuple(arg for arg in self.args if isinstance(arg, Var))
+
+
+def make_atom(relation: str, *args: Term) -> Atom:
+    """Convenience constructor, wrapping raw strings/floats as constants.
+
+    Integers are interpreted as class IDs (the instance's convention), so
+    numeric constants must be passed as :class:`Const` explicitly or as
+    floats/strings.
+    """
+    wrapped = []
+    for arg in args:
+        if isinstance(arg, (Const, Var, int)) and not isinstance(arg, bool):
+            wrapped.append(arg)
+        else:
+            wrapped.append(Const(arg))
+    return Atom(relation, tuple(wrapped))

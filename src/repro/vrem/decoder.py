@@ -1,0 +1,136 @@
+"""``dec_LA``: decoding VREM atoms back into LA expression nodes (§5).
+
+The extraction step of the optimizer walks the saturated instance choosing,
+for every class, a producing atom (or a leaf fact); this module provides the
+single-step decoding of one chosen atom into one AST node, given the already
+decoded sub-expressions of its input classes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import DecodingError
+from repro.lang import matrix_expr as mx
+from repro.vrem.atoms import Atom, Const
+from repro.vrem.schema import relation_spec
+
+_UNARY_NODES = {
+    "tr": mx.Transpose,
+    "inv_m": mx.Inverse,
+    "exp": mx.MatExp,
+    "adj": mx.Adjoint,
+    "diag": mx.Diag,
+    "rev": mx.Rev,
+    "row_sums": mx.RowSums,
+    "col_sums": mx.ColSums,
+    "row_means": mx.RowMeans,
+    "col_means": mx.ColMeans,
+    "row_max": mx.RowMax,
+    "col_max": mx.ColMax,
+    "row_min": mx.RowMin,
+    "col_min": mx.ColMin,
+    "row_var": mx.RowVar,
+    "col_var": mx.ColVar,
+    "det": mx.Det,
+    "trace": mx.Trace,
+    "sum": mx.SumAll,
+    "mean": mx.MeanAll,
+    "var": mx.VarAll,
+    "min": mx.MinAll,
+    "max": mx.MaxAll,
+}
+
+_BINARY_NODES = {
+    "multi_m": mx.MatMul,
+    "add_m": mx.Add,
+    "sub_m": mx.Sub,
+    "div_m": mx.ElemDiv,
+    "multi_e": mx.Hadamard,
+    "multi_ms": mx.ScalarMul,
+    "sum_d": mx.DirectSum,
+    "product_d": mx.DirectProduct,
+    "cbind": mx.CBind,
+    "rbind": mx.RBind,
+}
+
+_DECOMPOSITION_NODES = {
+    ("cho", 0): mx.CholeskyFactor,
+    ("qr", 0): mx.QRFactorQ,
+    ("qr", 1): mx.QRFactorR,
+    ("lu", 0): mx.LUFactorL,
+    ("lu", 1): mx.LUFactorU,
+    ("lup", 0): mx.LUPFactorL,
+    ("lup", 1): mx.LUPFactorU,
+    ("lup", 2): mx.LUPFactorP,
+}
+
+_SCALAR_ARITHMETIC = {"add_s", "multi_s", "inv_s", "pow_s"}
+
+
+def decode_atom_to_expr(
+    atom: Atom,
+    output_index: int,
+    child_exprs: Sequence[mx.Expr],
+) -> mx.Expr:
+    """Decode one producing atom into one expression node.
+
+    Parameters
+    ----------
+    atom:
+        The operation atom chosen as the derivation of the target class.
+    output_index:
+        Which of the relation's output positions the target class occupies
+        (0 for all single-output relations).
+    child_exprs:
+        Already decoded expressions for the atom's *input* class arguments,
+        in input-position order.  Constant input arguments (e.g. the exponent
+        of ``mat_pow``) are not included — they are read from the atom.
+    """
+    relation = atom.relation
+    spec = relation_spec(relation)
+
+    if relation in _UNARY_NODES:
+        return _UNARY_NODES[relation](child_exprs[0])
+    if relation in _BINARY_NODES:
+        return _BINARY_NODES[relation](child_exprs[0], child_exprs[1])
+    if relation == "mat_pow":
+        const = atom.args[spec.input_positions[1]]
+        if not isinstance(const, Const):
+            raise DecodingError("mat_pow exponent must be a constant")
+        return mx.MatPow(child_exprs[0], int(const.value))
+    key = (relation, output_index)
+    if key in _DECOMPOSITION_NODES:
+        return _DECOMPOSITION_NODES[key](child_exprs[0])
+    if relation in _SCALAR_ARITHMETIC:
+        # Scalar arithmetic is decoded with the matrix-level node set so the
+        # resulting expression stays executable: a + b and a * b over 1x1
+        # matrices, 1/a as an element-wise division, a^k as repeated product.
+        if relation == "add_s":
+            return mx.Add(child_exprs[0], child_exprs[1])
+        if relation == "multi_s":
+            return mx.Hadamard(child_exprs[0], child_exprs[1])
+        if relation == "inv_s":
+            return mx.ElemDiv(mx.ScalarConst(1.0), child_exprs[0])
+        const = atom.args[spec.input_positions[1]]
+        return mx.MatPow(child_exprs[0], int(const.value))
+    raise DecodingError(f"cannot decode relation {relation!r} into an expression")
+
+
+def decode_fact_to_expr(atom: Atom, shape=None) -> mx.Expr:
+    """Decode a leaf fact atom (name / scalar / identity / zero) into a leaf node."""
+    if atom.relation == "name":
+        return mx.MatrixRef(atom.args[1].value)
+    if atom.relation == "scalar_const":
+        return mx.ScalarConst(float(atom.args[1].value))
+    if atom.relation == "scalar_name":
+        return mx.ScalarRef(atom.args[1].value)
+    if atom.relation == "identity":
+        if shape is None:
+            raise DecodingError("cannot decode identity atom without a known shape")
+        return mx.Identity(shape[0])
+    if atom.relation == "zero":
+        if shape is None:
+            raise DecodingError("cannot decode zero atom without a known shape")
+        return mx.Zero(shape[0], shape[1])
+    raise DecodingError(f"atom {atom!r} is not a decodable leaf fact")

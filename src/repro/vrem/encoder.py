@@ -1,0 +1,174 @@
+"""``enc_LA``: encoding LA expressions on the VREM schema (paper §6.2.2).
+
+The encoder walks an :class:`~repro.lang.matrix_expr.Expr` bottom-up and
+produces, inside a :class:`~repro.vrem.instance.VremInstance`,
+
+* one ``name`` atom per referenced base matrix (plus its ``size``/shape and
+  ``type`` metadata, read from the catalog when one is supplied), and
+* one operation atom per AST node, whose output argument is the equivalence
+  class standing for the node's value.
+
+Because the instance hash-conses operation atoms (congruence), encoding the
+same sub-expression twice yields the same class — exactly the paper's
+"two expressions are assigned the same ID iff they yield value-based-equal
+matrices" reading, restricted to syntactic equality until the chase adds
+semantic equalities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.data.catalog import Catalog
+from repro.data.matrix import MatrixType
+from repro.exceptions import EncodingError
+from repro.lang import matrix_expr as mx
+from repro.vrem.atoms import Const
+from repro.vrem.instance import VremInstance
+
+#: Expression classes encoded by a single operation atom whose relation name
+#: equals ``Expr.op``.
+_SIMPLE_UNARY = {
+    "tr", "inv_m", "exp", "adj", "diag", "rev",
+    "row_sums", "col_sums", "row_means", "col_means",
+    "row_max", "col_max", "row_min", "col_min", "row_var", "col_var",
+    "det", "trace", "sum", "mean", "var", "min", "max",
+}
+
+_SIMPLE_BINARY = {
+    "multi_m", "add_m", "sub_m", "div_m", "multi_e", "multi_ms",
+    "sum_d", "product_d", "cbind", "rbind",
+}
+
+#: Decomposition accessor op -> (relation, output index within the relation's
+#: output positions).
+_DECOMPOSITIONS = {
+    "cho": ("cho", 0),
+    "qr_q": ("qr", 0),
+    "qr_r": ("qr", 1),
+    "lu_l": ("lu", 0),
+    "lu_u": ("lu", 1),
+    "lup_l": ("lup", 0),
+    "lup_u": ("lup", 1),
+    "lup_p": ("lup", 2),
+}
+
+
+class LAEncoder:
+    """Stateful encoder producing class IDs inside one instance."""
+
+    def __init__(self, instance: VremInstance, catalog: Optional[Catalog] = None,
+                 provenance: str = "enc"):
+        self.instance = instance
+        self.catalog = catalog
+        self.provenance = provenance
+        self._memo: Dict[mx.Expr, int] = {}
+
+    # -- leaves ----------------------------------------------------------------
+    def _encode_matrix_ref(self, expr: mx.MatrixRef) -> int:
+        existing = self.instance.class_of_name(expr.name)
+        if existing is not None:
+            return existing
+        cid = self.instance.new_class()
+        self.instance.add_atom("name", (cid, Const(expr.name)), (self.provenance,))
+        if self.catalog is not None and self.catalog.has_matrix(expr.name):
+            meta = self.catalog.meta(expr.name)
+            self.instance.set_shape(cid, meta.shape)
+            if meta.matrix_type != MatrixType.GENERAL:
+                self.instance.add_atom(
+                    "type", (cid, Const(meta.matrix_type)), (self.provenance,)
+                )
+        return cid
+
+    def _encode_scalar_const(self, expr: mx.ScalarConst) -> int:
+        for atom in self.instance.atoms("scalar_const"):
+            if atom.args[1] == Const(expr.value):
+                return self.instance.find(atom.args[0])
+        cid = self.instance.new_class()
+        self.instance.add_atom("scalar_const", (cid, Const(expr.value)), (self.provenance,))
+        self.instance.set_shape(cid, (1, 1))
+        self.instance.set_scalar_value(cid, expr.value)
+        return cid
+
+    def _encode_scalar_ref(self, expr: mx.ScalarRef) -> int:
+        for atom in self.instance.atoms("scalar_name"):
+            if atom.args[1] == Const(expr.name):
+                return self.instance.find(atom.args[0])
+        cid = self.instance.new_class()
+        self.instance.add_atom("scalar_name", (cid, Const(expr.name)), (self.provenance,))
+        self.instance.set_shape(cid, (1, 1))
+        if self.catalog is not None and self.catalog.has_scalar(expr.name):
+            self.instance.set_scalar_value(cid, self.catalog.scalar(expr.name))
+        return cid
+
+    def _encode_identity(self, expr: mx.Identity) -> int:
+        for atom in self.instance.atoms("identity"):
+            cid = self.instance.find(atom.args[0])
+            if self.instance.shape(cid) == (expr.n, expr.n):
+                return cid
+        cid = self.instance.new_class()
+        self.instance.add_atom("identity", (cid,), (self.provenance,))
+        self.instance.set_shape(cid, (expr.n, expr.n))
+        return cid
+
+    def _encode_zero(self, expr: mx.Zero) -> int:
+        for atom in self.instance.atoms("zero"):
+            cid = self.instance.find(atom.args[0])
+            if self.instance.shape(cid) == (expr.rows, expr.cols):
+                return cid
+        cid = self.instance.new_class()
+        self.instance.add_atom("zero", (cid,), (self.provenance,))
+        self.instance.set_shape(cid, (expr.rows, expr.cols))
+        return cid
+
+    # -- main dispatch ------------------------------------------------------------
+    def encode(self, expr: mx.Expr) -> int:
+        """Encode an expression and return the class ID of its value."""
+        memoised = self._memo.get(expr)
+        if memoised is not None:
+            return self.instance.find(memoised)
+
+        if isinstance(expr, mx.MatrixRef):
+            cid = self._encode_matrix_ref(expr)
+        elif isinstance(expr, mx.ScalarConst):
+            cid = self._encode_scalar_const(expr)
+        elif isinstance(expr, mx.ScalarRef):
+            cid = self._encode_scalar_ref(expr)
+        elif isinstance(expr, mx.Identity):
+            cid = self._encode_identity(expr)
+        elif isinstance(expr, mx.Zero):
+            cid = self._encode_zero(expr)
+        elif isinstance(expr, mx.MatPow):
+            child = self.encode(expr.child)
+            (cid,) = self.instance.add_op(
+                "mat_pow", (child, Const(expr.exponent)), (self.provenance,)
+            )
+        elif expr.op in _DECOMPOSITIONS:
+            relation, out_index = _DECOMPOSITIONS[expr.op]
+            child = self.encode(expr.children[0])
+            outputs = self.instance.add_op(relation, (child,), (self.provenance,))
+            cid = outputs[out_index]
+        elif expr.op in _SIMPLE_UNARY:
+            child = self.encode(expr.children[0])
+            (cid,) = self.instance.add_op(expr.op, (child,), (self.provenance,))
+        elif expr.op in _SIMPLE_BINARY:
+            left = self.encode(expr.children[0])
+            right = self.encode(expr.children[1])
+            (cid,) = self.instance.add_op(expr.op, (left, right), (self.provenance,))
+        else:
+            raise EncodingError(f"cannot encode operator {expr.op!r} on VREM")
+
+        self._memo[expr] = cid
+        return self.instance.find(cid)
+
+
+def encode_expression(
+    expr: mx.Expr,
+    instance: Optional[VremInstance] = None,
+    catalog: Optional[Catalog] = None,
+) -> Tuple[VremInstance, int]:
+    """One-shot helper: encode ``expr`` and return ``(instance, root class)``."""
+    instance = instance if instance is not None else VremInstance()
+    encoder = LAEncoder(instance, catalog)
+    root = encoder.encode(expr)
+    return instance, root

@@ -1,0 +1,365 @@
+"""The chased VREM instance.
+
+A :class:`VremInstance` is the ground structure that the paper's reduction
+manipulates: a set of atoms over the VREM relations whose ID arguments denote
+*equivalence classes* of expressions (§6.2.1).  The functional EGDs of
+§6.2.3 (every operation relation is functional in its inputs) are maintained
+incrementally as a congruence: whenever two atoms of a functional relation
+agree on their canonical input arguments, their output classes are merged,
+and after every merge the instance re-canonicalises itself to a fixpoint.
+
+Besides the atoms, the instance tracks per-class *shape* metadata (the
+``size`` relation of Table 1), optional known scalar values and, per atom, a
+set of provenance labels recording which constraint or encoding step
+introduced it — the information the provenance-aware backchase reads off.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ChaseError
+from repro.vrem.atoms import Atom, Const, Var
+from repro.vrem.schema import VREM_SCHEMA, infer_output_shapes, relation_spec
+
+Shape = Tuple[int, int]
+Term = object  # int (class ID) or Const
+
+
+class VremInstance:
+    """Congruence-closed set of ground VREM atoms over equivalence classes."""
+
+    def __init__(self):
+        self._parent: Dict[int, int] = {}
+        self._next_id = 0
+        self._atom_provenance: Dict[Atom, Set[str]] = {}
+        self._by_relation: Dict[str, Set[Atom]] = defaultdict(set)
+        self._by_position: Dict[Tuple[str, int, object], Set[Atom]] = defaultdict(set)
+        self._congruence: Dict[Tuple, Atom] = {}
+        self._shape: Dict[int, Shape] = {}
+        self._scalar_value: Dict[int, float] = {}
+        self._pending_unions: List[Tuple[int, int]] = []
+        #: Monotonically increasing counter, bumped on every structural change;
+        #: used by callers (e.g. the saturation engine) to detect staleness.
+        self.version = 0
+
+    # ------------------------------------------------------------------ classes
+    def new_class(self) -> int:
+        """Allocate a fresh equivalence-class identifier."""
+        cid = self._next_id
+        self._next_id += 1
+        self._parent[cid] = cid
+        return cid
+
+    def find(self, cid: int) -> int:
+        """Canonical representative of a class (with path compression)."""
+        root = cid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cid] != root:
+            self._parent[cid], cid = root, self._parent[cid]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge two classes and return the surviving representative.
+
+        Shape and scalar-value metadata are reconciled; conflicting shapes
+        indicate an unsound constraint and raise :class:`ChaseError`.
+        The heavy re-canonicalisation work is deferred to :meth:`rebuild`.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        # Keep the smaller id as representative for determinism.
+        keep, drop = (ra, rb) if ra < rb else (rb, ra)
+        shape_keep, shape_drop = self._shape.get(keep), self._shape.get(drop)
+        if shape_keep is not None and shape_drop is not None and shape_keep != shape_drop:
+            raise ChaseError(
+                f"cannot merge classes {keep} and {drop}: shapes {shape_keep} != {shape_drop}"
+            )
+        if shape_keep is None and shape_drop is not None:
+            self._shape[keep] = shape_drop
+        value_keep, value_drop = self._scalar_value.get(keep), self._scalar_value.get(drop)
+        if value_keep is None and value_drop is not None:
+            self._scalar_value[keep] = value_drop
+        self._parent[drop] = keep
+        self._pending_unions.append((keep, drop))
+        return keep
+
+    def same_class(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> Set[int]:
+        """All canonical class representatives currently alive."""
+        return {self.find(cid) for cid in self._parent}
+
+    def num_classes(self) -> int:
+        return len(self.classes())
+
+    # ------------------------------------------------------------------ metadata
+    def set_shape(self, cid: int, shape: Optional[Shape]) -> None:
+        if shape is None:
+            return
+        root = self.find(cid)
+        known = self._shape.get(root)
+        shape = (int(shape[0]), int(shape[1]))
+        if known is not None and known != shape:
+            raise ChaseError(f"class {root} already has shape {known}, cannot set {shape}")
+        self._shape[root] = shape
+
+    def shape(self, cid: int) -> Optional[Shape]:
+        return self._shape.get(self.find(cid))
+
+    def set_scalar_value(self, cid: int, value: float) -> None:
+        self._scalar_value[self.find(cid)] = float(value)
+
+    def scalar_value(self, cid: int) -> Optional[float]:
+        return self._scalar_value.get(self.find(cid))
+
+    # ------------------------------------------------------------------ atoms
+    def _canonical_args(self, args: Sequence[Term]) -> Tuple[Term, ...]:
+        canonical = []
+        for arg in args:
+            if isinstance(arg, Var):
+                raise ChaseError("ground instances cannot contain variables")
+            if isinstance(arg, bool):
+                raise ChaseError("boolean atom arguments are not supported")
+            if isinstance(arg, int):
+                canonical.append(self.find(arg))
+            elif isinstance(arg, Const):
+                canonical.append(arg)
+            else:
+                canonical.append(Const(arg))
+        return tuple(canonical)
+
+    def add_atom(
+        self,
+        relation: str,
+        args: Sequence[Term],
+        provenance: Optional[Iterable[str]] = None,
+    ) -> Atom:
+        """Insert a ground atom (idempotent), maintaining congruence.
+
+        ``size`` atoms are intercepted and stored as shape metadata instead
+        of as ordinary atoms (the matcher reconstitutes them on demand).
+        Returns the canonical atom as stored.
+        """
+        if relation not in VREM_SCHEMA:
+            raise ChaseError(f"unknown VREM relation {relation!r}")
+        canonical = self._canonical_args(args)
+        if relation == "size":
+            cid, rows, cols = canonical
+            if isinstance(rows, Const) and isinstance(cols, Const):
+                self.set_shape(cid, (int(rows.value), int(cols.value)))
+            atom = Atom("size", canonical)
+            return atom
+        atom = Atom(relation, canonical)
+        labels = set(provenance or ())
+        existing = self._atom_provenance.get(atom)
+        if existing is not None:
+            existing |= labels
+            return atom
+        self._atom_provenance[atom] = labels
+        self._by_relation[relation].add(atom)
+        for position, arg in enumerate(canonical):
+            self._by_position[(relation, position, arg)].add(atom)
+        self.version += 1
+        self._apply_congruence(atom)
+        self._infer_shapes(atom)
+        if self._pending_unions:
+            self.rebuild()
+        return atom
+
+    def _congruence_key(self, atom: Atom) -> Optional[Tuple]:
+        spec = relation_spec(atom.relation)
+        if not spec.functional:
+            return None
+        key_args = tuple(atom.args[pos] for pos in spec.input_positions)
+        return (atom.relation, key_args)
+
+    def _apply_congruence(self, atom: Atom) -> None:
+        key = self._congruence_key(atom)
+        if key is None:
+            return
+        other = self._congruence.get(key)
+        if other is None:
+            self._congruence[key] = atom
+            return
+        spec = relation_spec(atom.relation)
+        for pos in spec.output_positions:
+            a, b = atom.args[pos], other.args[pos]
+            if isinstance(a, int) and isinstance(b, int):
+                self.union(a, b)
+
+    def _infer_shapes(self, atom: Atom) -> None:
+        spec = relation_spec(atom.relation)
+        if spec.is_fact:
+            if atom.relation == "identity":
+                # identity(I): square; exact size may be set separately.
+                return
+            return
+        input_shapes = []
+        const_args = []
+        for pos in spec.input_positions:
+            arg = atom.args[pos]
+            if isinstance(arg, int):
+                input_shapes.append(self.shape(arg))
+            else:
+                input_shapes.append((1, 1))
+                const_args.append(arg.value)
+        out_shapes = infer_output_shapes(atom.relation, input_shapes, const_args)
+        for pos, shape in zip(spec.output_positions, out_shapes):
+            arg = atom.args[pos]
+            if shape is not None and isinstance(arg, int) and self.shape(arg) is None:
+                self.set_shape(arg, shape)
+
+    def add_op(
+        self,
+        relation: str,
+        inputs: Sequence[Term],
+        provenance: Optional[Iterable[str]] = None,
+    ) -> Tuple[int, ...]:
+        """Hash-consing insertion of an operation atom.
+
+        If an atom of ``relation`` with the given (canonicalised) inputs
+        already exists, its output class IDs are returned; otherwise fresh
+        classes are allocated for the outputs, the atom is added, and the
+        new IDs are returned.
+        """
+        spec = relation_spec(relation)
+        if spec.is_fact:
+            raise ChaseError(f"{relation!r} is a fact relation, not an operation")
+        canonical_inputs = self._canonical_args(inputs)
+        key = (relation, canonical_inputs)
+        existing = self._congruence.get(key)
+        if existing is not None:
+            return tuple(self.find(existing.args[pos]) for pos in spec.output_positions)
+        outputs = tuple(self.new_class() for _ in spec.output_positions)
+        args: List[Term] = [None] * spec.arity
+        for pos, value in zip(spec.input_positions, canonical_inputs):
+            args[pos] = value
+        for pos, value in zip(spec.output_positions, outputs):
+            args[pos] = value
+        self.add_atom(relation, args, provenance)
+        return tuple(self.find(out) for out in outputs)
+
+    def has_atom(self, relation: str, args: Sequence[Term]) -> bool:
+        canonical = self._canonical_args(args)
+        return Atom(relation, canonical) in self._atom_provenance
+
+    def atoms(self, relation: Optional[str] = None) -> Iterator[Atom]:
+        """Iterate over stored atoms, optionally restricted to one relation."""
+        if relation is not None:
+            yield from list(self._by_relation.get(relation, ()))
+            return
+        yield from list(self._atom_provenance)
+
+    def atom_count(self, relation: str) -> int:
+        """Number of stored atoms of one relation (cheap)."""
+        return len(self._by_relation.get(relation, ()))
+
+    def atoms_with(self, relation: str, position: int, value) -> Set[Atom]:
+        """Atoms of ``relation`` whose ``position``-th argument equals ``value``.
+
+        ``value`` must already be canonical (a class representative or a
+        :class:`Const`); this is the index the homomorphism matcher joins on.
+        """
+        if isinstance(value, int):
+            value = self.find(value)
+        return self._by_position.get((relation, position, value), set())
+
+    def provenance(self, atom: Atom) -> FrozenSet[str]:
+        canonical = Atom(atom.relation, self._canonical_args(atom.args))
+        return frozenset(self._atom_provenance.get(canonical, ()))
+
+    def num_atoms(self) -> int:
+        return len(self._atom_provenance)
+
+    # ------------------------------------------------------------------ rebuild
+    def rebuild(self) -> None:
+        """Re-canonicalise all atoms after unions, to a congruence fixpoint."""
+        while self._pending_unions:
+            self._pending_unions.clear()
+            old_atoms = self._atom_provenance
+            self._atom_provenance = {}
+            self._by_relation = defaultdict(set)
+            self._by_position = defaultdict(set)
+            self._congruence = {}
+            self.version += 1
+            # Re-canonicalise metadata keyed by class id.
+            for table in (self._shape, self._scalar_value):
+                entries = list(table.items())
+                table.clear()
+                for cid, value in entries:
+                    root = self.find(cid)
+                    if root in table and table[root] != value and table is self._shape:
+                        raise ChaseError(
+                            f"conflicting shapes {table[root]} vs {value} while merging class {root}"
+                        )
+                    table.setdefault(root, value)
+            for atom, labels in old_atoms.items():
+                canonical = Atom(atom.relation, self._canonical_args(atom.args))
+                existing = self._atom_provenance.get(canonical)
+                if existing is not None:
+                    existing |= labels
+                else:
+                    self._atom_provenance[canonical] = set(labels)
+                    self._by_relation[canonical.relation].add(canonical)
+                    for position, arg in enumerate(canonical.args):
+                        self._by_position[(canonical.relation, position, arg)].add(canonical)
+                    self._apply_congruence(canonical)
+                    self._infer_shapes(canonical)
+
+    # ------------------------------------------------------------------ helpers
+    def leaf_name(self, cid: int) -> Optional[str]:
+        """The storage name of a class, if it has a ``name`` atom."""
+        root = self.find(cid)
+        for atom in self._by_relation.get("name", ()):
+            if self.find(atom.args[0]) == root:
+                return atom.args[1].value
+        return None
+
+    def leaf_names(self, cid: int) -> List[str]:
+        """All storage names attached to a class (base matrices and views)."""
+        root = self.find(cid)
+        names = []
+        for atom in self._by_relation.get("name", ()):
+            if self.find(atom.args[0]) == root:
+                names.append(atom.args[1].value)
+        return sorted(names)
+
+    def class_of_name(self, name: str) -> Optional[int]:
+        """The class carrying ``name(M, name)``, if any."""
+        for atom in self._by_relation.get("name", ()):
+            if atom.args[1] == Const(name):
+                return self.find(atom.args[0])
+        return None
+
+    def types_of(self, cid: int) -> Set[str]:
+        """Structural type tags attached to a class via ``type`` atoms."""
+        root = self.find(cid)
+        return {
+            atom.args[1].value
+            for atom in self._by_relation.get("type", ())
+            if self.find(atom.args[0]) == root
+        }
+
+    def producers(self, cid: int) -> List[Atom]:
+        """Operation atoms whose output positions include this class."""
+        root = self.find(cid)
+        result = []
+        for relation, atoms in self._by_relation.items():
+            spec = relation_spec(relation)
+            if not spec.output_positions:
+                continue
+            for atom in atoms:
+                for pos in spec.output_positions:
+                    arg = atom.args[pos]
+                    if isinstance(arg, int) and self.find(arg) == root:
+                        result.append(atom)
+                        break
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"VremInstance(classes={self.num_classes()}, atoms={self.num_atoms()})"

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.catalog import Catalog
+from repro.data.matrix import MatrixData, MatrixType
+from repro.data.table import Table
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture()
+def small_catalog(rng) -> Catalog:
+    """A tiny, fully materialized catalog with the Table 6 role names.
+
+    Shapes are chosen to be small but *asymmetric* (tall M, wide N) so that
+    cost-based decisions are observable, and C / D are well-conditioned
+    square matrices so inverse/determinant pipelines are numerically stable.
+    """
+    catalog = Catalog()
+    n_tall, n_feat = 40, 6
+    catalog.register_dense("M", rng.random((n_tall, n_feat)))
+    catalog.register_dense("N", rng.random((n_feat, n_tall)))
+    catalog.register_dense("A", rng.random((30, 8)))
+    catalog.register_dense("B", rng.random((30, 8)))
+    square = rng.random((7, 7)) + 7 * np.eye(7)
+    square2 = rng.random((7, 7)) + 9 * np.eye(7)
+    catalog.register_dense("C", square)
+    catalog.register_dense("D", square2)
+    catalog.register_dense("R", rng.random((n_feat, n_feat)))
+    catalog.register_dense("v1", rng.random((7, 1)))
+    catalog.register_dense("v2", rng.random((12, 1)))
+    catalog.register_dense("u1", rng.random((25, 1)))
+    catalog.register_dense("X", rng.random((25, 12)))
+    catalog.register_dense("vA", rng.random((8, 1)))
+    catalog.register_sparse("Sp", sparse.random(40, 30, density=0.05, random_state=np.random.default_rng(1)))
+    spd = rng.random((6, 6))
+    catalog.register_dense("SPD", spd @ spd.T + 6 * np.eye(6), matrix_type=MatrixType.SYMMETRIC_PD)
+    catalog.register_scalar("s1", 2.5)
+    catalog.register_scalar("s2", 4.0)
+    return catalog
+
+
+@pytest.fixture()
+def small_tables() -> Catalog:
+    """A catalog with two joinable tables and a fact table."""
+    catalog = Catalog()
+    ids = np.arange(10, dtype=np.float64)
+    catalog.register_table(
+        Table("Left", {"id": ids, "l1": ids * 2.0, "l2": ids + 1.0})
+    )
+    catalog.register_table(
+        Table("Right", {"id": ids, "r1": ids * 3.0, "r2": np.ones(10)})
+    )
+    catalog.register_table(
+        Table(
+            "Facts",
+            {
+                "id": np.asarray([0, 1, 2, 2, 5, 7, 9], dtype=np.float64),
+                "item": np.asarray([0, 1, 2, 3, 1, 0, 4], dtype=np.float64),
+                "level": np.asarray([1, 5, 2, 3, 4, 2, 6], dtype=np.float64),
+                "text": ["covid a", "other", "covid b", "covid c", "x", "covid d", "covid e"],
+            },
+        )
+    )
+    return catalog

@@ -1,0 +1,248 @@
+"""Tests for the data layer: matrices, tables, catalog, I/O and generators."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.catalog import Catalog
+from repro.data.datasets import (
+    fact_table_to_sparse,
+    mimic_dataset,
+    register_hybrid_auxiliaries,
+    twitter_dataset,
+)
+from repro.data.generators import (
+    REAL_DATASETS,
+    SYNTHETIC_DIMS,
+    real_like,
+    scale_dim,
+    spd_matrix,
+    standard_catalog,
+    synthetic,
+    well_conditioned_square,
+)
+from repro.data.io import read_csv, read_matrix, read_metadata, write_csv, write_matrix, write_metadata
+from repro.data.matrix import MatrixData, MatrixMeta, MatrixType
+from repro.data.table import Table
+from repro.exceptions import CatalogError, TypeMismatchError, UnknownMatrixError, UnknownTableError
+
+
+class TestMatrixMeta:
+    def test_valid_meta(self):
+        meta = MatrixMeta("M.csv", 10, 5, nnz=7)
+        assert meta.shape == (10, 5) and meta.n_cells == 50
+        assert meta.sparsity == pytest.approx(0.14)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(CatalogError):
+            MatrixMeta("M", 0, 5)
+
+    def test_invalid_nnz_rejected(self):
+        with pytest.raises(CatalogError):
+            MatrixMeta("M", 2, 2, nnz=10)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(CatalogError):
+            MatrixMeta("M", 2, 2, matrix_type="weird")
+
+    def test_unknown_nnz_means_dense(self):
+        assert MatrixMeta("M", 3, 3).sparsity == 1.0
+
+
+class TestMatrixData:
+    def test_from_dense_computes_nnz(self, rng):
+        values = np.zeros((4, 4))
+        values[0, 0] = 1.0
+        data = MatrixData.from_dense("M", values)
+        assert data.meta.nnz == 1 and not data.is_sparse
+
+    def test_from_dense_reshapes_vectors(self):
+        data = MatrixData.from_dense("v", np.ones(5))
+        assert data.shape == (5, 1)
+
+    def test_from_sparse(self):
+        data = MatrixData.from_sparse("S", sparse.eye(5, format="csr"))
+        assert data.is_sparse and data.meta.nnz == 5
+        assert np.allclose(data.to_dense(), np.eye(5))
+
+    def test_detect_type_lower_triangular(self):
+        data = MatrixData.from_dense("L", np.tril(np.ones((4, 4))))
+        assert data.detect_type() == MatrixType.LOWER_TRIANGULAR
+
+    def test_detect_type_spd(self, rng):
+        base = rng.random((5, 5))
+        data = MatrixData.from_dense("S", base @ base.T + 5 * np.eye(5))
+        assert data.detect_type() == MatrixType.SYMMETRIC_PD
+
+
+class TestTable:
+    def test_basic_columns(self):
+        table = Table("T", {"a": np.arange(3.0), "b": ["x", "y", "z"]})
+        assert table.n_rows == 3 and set(table.columns) == {"a", "b"}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("T", {"a": np.arange(3.0), "b": ["x"]})
+
+    def test_take_and_project(self):
+        table = Table("T", {"a": np.arange(5.0), "b": np.arange(5.0) * 2})
+        subset = table.take([0, 2]).select_columns(["b"])
+        assert subset.n_rows == 2 and list(subset.column("b")) == [0.0, 4.0]
+
+    def test_to_matrix_and_back(self):
+        table = Table("T", {"a": np.arange(4.0), "b": np.ones(4)})
+        values = table.to_matrix(["a", "b"])
+        assert values.shape == (4, 2)
+        rebuilt = Table.from_matrix("T2", values, ["a", "b"])
+        assert np.allclose(rebuilt.to_matrix(["a", "b"]), values)
+
+    def test_to_matrix_rejects_string_columns(self):
+        table = Table("T", {"a": ["x", "y"]})
+        with pytest.raises(TypeMismatchError):
+            table.to_matrix(["a"])
+
+    def test_missing_column_raises(self):
+        table = Table("T", {"a": np.arange(3.0)})
+        with pytest.raises(TypeMismatchError):
+            table.column("zzz")
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, rng):
+        catalog = Catalog()
+        catalog.register_dense("M", rng.random((3, 4)))
+        assert catalog.shape("M") == (3, 4)
+        assert catalog.has_matrix("M") and catalog.has_matrix_values("M")
+
+    def test_duplicate_registration_rejected(self, rng):
+        catalog = Catalog()
+        catalog.register_dense("M", rng.random((2, 2)))
+        with pytest.raises(CatalogError):
+            catalog.register_dense("M", rng.random((2, 2)))
+        catalog.register_dense("M", rng.random((5, 5)), overwrite=True)
+        assert catalog.shape("M") == (5, 5)
+
+    def test_metadata_only_registration(self):
+        catalog = Catalog()
+        catalog.register_metadata(MatrixMeta("big", 1000, 1000, nnz=10))
+        assert catalog.has_matrix("big") and not catalog.has_matrix_values("big")
+        with pytest.raises(UnknownMatrixError):
+            catalog.matrix("big")
+
+    def test_scalars_and_tables(self):
+        catalog = Catalog()
+        catalog.register_scalar("s1", 2.0)
+        assert catalog.scalar("s1") == 2.0 and catalog.shape("s1") == (1, 1)
+        catalog.register_table(Table("T", {"a": np.arange(2.0)}))
+        assert catalog.table("T").n_rows == 2
+        with pytest.raises(UnknownTableError):
+            catalog.table("missing")
+
+    def test_types_report(self, rng):
+        catalog = Catalog()
+        catalog.register_dense("S", np.eye(3), matrix_type=MatrixType.SYMMETRIC_PD)
+        catalog.register_dense("G", rng.random((2, 2)))
+        assert catalog.types() == {"S": MatrixType.SYMMETRIC_PD}
+
+    def test_contains(self, rng):
+        catalog = Catalog()
+        catalog.register_dense("M", rng.random((2, 2)))
+        catalog.register_scalar("s", 1.0)
+        assert "M" in catalog and "s" in catalog and "nope" not in catalog
+
+
+class TestIO:
+    def test_csv_round_trip(self, tmp_path, rng):
+        path = str(tmp_path / "m.csv")
+        values = rng.random((4, 3))
+        write_csv(path, values)
+        loaded = read_csv(path, name="m.csv")
+        assert np.allclose(loaded.values, values)
+
+    def test_mtx_round_trip(self, tmp_path):
+        data = MatrixData.from_sparse("s", sparse.random(10, 8, density=0.2, random_state=0))
+        path = write_matrix(str(tmp_path / "s.mtx"), data)
+        loaded = read_matrix(path)
+        assert loaded.is_sparse
+        assert np.allclose(loaded.to_dense(), data.to_dense())
+
+    def test_metadata_sidecar(self, tmp_path, rng):
+        data = MatrixData.from_dense("m.csv", rng.random((5, 2)))
+        path = str(tmp_path / "m.csv")
+        write_csv(path, data.values)
+        write_metadata(path, data)
+        meta = read_metadata(path)
+        assert meta["rows"] == 5 and meta["cols"] == 2
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(CatalogError):
+            read_csv(str(tmp_path / "missing.csv"))
+
+
+class TestGenerators:
+    def test_scale_dim_preserves_small_dims(self):
+        assert scale_dim(100, 0.01) == 100
+        assert scale_dim(50_000, 0.01) == 500
+        assert scale_dim(50_000, 1.0) == 50_000
+
+    def test_synthetic_shapes_scale_consistently(self):
+        syn1 = synthetic("Syn1", scale=0.01)
+        syn2 = synthetic("Syn2", scale=0.01)
+        assert syn1.shape == (500, 100) and syn2.shape == (100, 500)
+
+    def test_square_synthetics_are_invertible(self):
+        syn5 = synthetic("Syn5", scale=0.01)
+        assert syn5.shape[0] == syn5.shape[1]
+        assert np.linalg.cond(syn5.to_dense()) < 1e6
+
+    def test_real_like_sparsity(self):
+        data = real_like("AS", scale=0.05)
+        assert data.is_sparse
+        assert data.meta.nnz >= 10
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            synthetic("SynX")
+        with pytest.raises(KeyError):
+            real_like("Nope")
+
+    def test_standard_catalog_contains_all_names(self):
+        catalog = standard_catalog(scale=0.002, include_real=False)
+        for name in SYNTHETIC_DIMS:
+            assert catalog.has_matrix(name)
+        assert catalog.has_scalar("s1") and catalog.has_scalar("s2")
+
+    def test_spd_and_well_conditioned_helpers(self):
+        spd = spd_matrix("S", 6)
+        assert spd.meta.matrix_type == MatrixType.SYMMETRIC_PD
+        np.linalg.cholesky(spd.to_dense())
+        square = well_conditioned_square("W", 6)
+        assert np.linalg.matrix_rank(square.to_dense()) == 6
+
+
+class TestHybridDatasets:
+    def test_twitter_dataset_schema(self):
+        catalog, spec = twitter_dataset(n_tweets=200, n_hashtags=30)
+        assert catalog.table("User").n_rows == 200
+        assert catalog.table("Tweet").n_rows == 200
+        assert spec.n_features == 12
+        tags = catalog.table("TweetTag")
+        assert {"id", "hashtag_id", "filter_level", "text", "country"} <= set(tags.columns)
+
+    def test_mimic_dataset_schema(self):
+        catalog, spec = mimic_dataset(n_patients=100, n_services=50)
+        assert catalog.table("Patients").n_rows == 100
+        assert spec.n_features == 82
+
+    def test_fact_table_to_sparse(self):
+        catalog, spec = twitter_dataset(n_tweets=100, n_hashtags=20)
+        matrix = fact_table_to_sparse(
+            catalog.table("TweetTag"), 100, 20, "id", "hashtag_id", "filter_level"
+        )
+        assert matrix.shape == (100, 20) and matrix.nnz > 0
+
+    def test_register_hybrid_auxiliaries(self):
+        catalog, spec = twitter_dataset(n_tweets=50, n_hashtags=10)
+        register_hybrid_auxiliaries(catalog, spec)
+        assert catalog.shape("Xh") == (spec.n_fact_columns, spec.n_entities)
+        assert catalog.shape("u_feat") == (spec.n_entities, 1)
