@@ -1,0 +1,142 @@
+"""Rewrite throughput with the planner's fingerprint-keyed cache.
+
+Measures exprs/sec over a sweep of benchkit pipelines in three modes:
+
+* **cache-off** — every rewrite plans from scratch (the seed behaviour);
+* **cache-on**  — repeated rewrites hit the session's ``RewriteCache``;
+* **batch-deduped** — the whole sweep goes through ``rewrite_all``, which
+  plans each distinct fingerprint once.
+
+Run under pytest (``python -m pytest benchmarks/bench_rewrite_cache.py``)
+for the assertions, or directly (``python benchmarks/bench_rewrite_cache.py``)
+to emit the JSON summary used by the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+from repro.benchkit.pipelines import P_NO_OPT, build_pipeline, default_roles
+from repro.planner import PlanSession
+
+#: A modest sweep: structurally distinct pipelines, swept repeatedly the way
+#: the Fig. 5–12 harness loops do.
+SAMPLE = ["P1.1", "P1.4", "P1.13", "P1.15", "P2.10", "P2.25"]
+REPEATS = 5
+
+
+def _expressions():
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    return [build_pipeline(name, roles) for name in SAMPLE]
+
+
+def _throughput(seconds: float, count: int) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def measure(scale: float = 0.01, repeats: int = REPEATS) -> dict:
+    """Time the three modes and return the JSON-ready summary."""
+    catalog = benchmark_catalog(scale=scale)
+    expressions = _expressions()
+    sweep = expressions * repeats
+
+    session_off = PlanSession(catalog, enable_cache=False)
+    start = time.perf_counter()
+    for expr in sweep:
+        session_off.rewrite(expr)
+    seconds_off = time.perf_counter() - start
+
+    session_on = PlanSession(catalog)
+    start = time.perf_counter()
+    for expr in sweep:
+        session_on.rewrite(expr)
+    seconds_on = time.perf_counter() - start
+
+    session_batch = PlanSession(catalog, enable_cache=False)
+    start = time.perf_counter()
+    session_batch.rewrite_all(sweep)
+    seconds_batch = time.perf_counter() - start
+
+    # The headline number: first (cold) vs second (cached) rewrite of one
+    # identical expression through one session.
+    session_single = PlanSession(catalog)
+    probe = expressions[0]
+    start = time.perf_counter()
+    first = session_single.rewrite(probe)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    second = session_single.rewrite(probe)
+    warm_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "rewrite_cache",
+        "scale": scale,
+        "pipelines": SAMPLE,
+        "repeats": repeats,
+        "sweep_size": len(sweep),
+        "cache_off": {
+            "seconds": seconds_off,
+            "exprs_per_sec": _throughput(seconds_off, len(sweep)),
+        },
+        "cache_on": {
+            "seconds": seconds_on,
+            "exprs_per_sec": _throughput(seconds_on, len(sweep)),
+            "hit_rate": session_on.cache.hit_rate,
+        },
+        "batch_deduped": {
+            "seconds": seconds_batch,
+            "exprs_per_sec": _throughput(seconds_batch, len(sweep)),
+        },
+        "single_expression": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+            "warm_was_cache_hit": second.cache_hit,
+            "same_best": first.best == second.best,
+        },
+    }
+
+
+def test_cached_rewrite_is_10x_faster(catalog):
+    """Acceptance: the second rewrite of an identical expression is >= 10x faster."""
+    session = PlanSession(catalog)
+    expr = _expressions()[0]
+    start = time.perf_counter()
+    first = session.rewrite(expr)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    second = session.rewrite(expr)
+    warm = time.perf_counter() - start
+    assert second.cache_hit and not first.cache_hit
+    assert second.best == first.best
+    assert cold / warm >= 10.0, f"cache speedup only {cold / warm:.1f}x"
+
+
+def test_modes_agree_and_cache_wins(catalog):
+    """Cache-on and batch-deduped sweeps must beat the cache-off sweep."""
+    expressions = _expressions()
+    sweep = expressions * 3
+
+    session_off = PlanSession(catalog, enable_cache=False)
+    start = time.perf_counter()
+    baseline = [session_off.rewrite(expr) for expr in sweep]
+    seconds_off = time.perf_counter() - start
+
+    session_on = PlanSession(catalog)
+    start = time.perf_counter()
+    cached = [session_on.rewrite(expr) for expr in sweep]
+    seconds_on = time.perf_counter() - start
+
+    batched = PlanSession(catalog, enable_cache=False).rewrite_all(sweep)
+
+    for base, hit, batch in zip(baseline, cached, batched):
+        assert base.best == hit.best == batch.best
+        assert base.best_cost == hit.best_cost == batch.best_cost
+    assert seconds_on < seconds_off
+    assert session_on.cache.hit_rate > 0.5
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

@@ -9,6 +9,12 @@ chase & backchase with cost-based pruning finds the minimum-cost equivalent
 rewriting, which is decoded back to LA syntax and executed unchanged on the
 underlying platform.
 
+Rewriting runs as a staged planner pipeline (encode → saturate → annotate →
+extract → post-optimize) driven by :class:`repro.planner.PlanSession`, which
+owns the long-lived state: the constraint set compiled once into an indexed
+program, the saturation engine, and a fingerprint-keyed rewrite cache.
+:class:`HadadOptimizer` is the stable façade over a session.
+
 Quick start::
 
     from repro import HadadOptimizer, LAView
@@ -23,19 +29,21 @@ Quick start::
     result = optimizer.rewrite(ols)
     print(result.summary())
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-reproduction of the paper's evaluation.
+See README.md for the architecture overview, the planner pipeline diagram
+and instructions for running the benchmark reproduction of the paper's
+evaluation (the ``benchmarks/`` directory).
 """
 
-from repro.core import HadadOptimizer, LAView, RewriteResult
+from repro.core import HadadOptimizer, LAView, PlanSession, RewriteResult
 from repro.data import Catalog, MatrixData, MatrixMeta, Table
 from repro.cost import MNCEstimator, NaiveMetadataEstimator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HadadOptimizer",
     "LAView",
+    "PlanSession",
     "RewriteResult",
     "Catalog",
     "MatrixData",

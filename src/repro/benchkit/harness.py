@@ -10,17 +10,23 @@ For one pipeline the harness reports the quantities the paper plots:
 
 plus the estimated costs and a numerical-equivalence check of the two
 results (soundness in practice, not just on paper).
+
+The ``optimizer`` argument of :func:`run_pipeline` is anything exposing the
+``rewrite`` protocol — a :class:`~repro.core.optimizer.HadadOptimizer`
+façade or, preferably, a :class:`~repro.planner.PlanSession` directly.  For
+sweeps over many pipelines (the Fig. 5–12 loops), :func:`run_pipelines`
+plans the whole batch through ``rewrite_all`` so structurally identical
+pipelines are planned once and repeated runs hit the session cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backends.base import values_allclose
 from repro.backends.numpy_backend import NumpyBackend
 from repro.constraints.views import LAView
-from repro.core.optimizer import HadadOptimizer
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
 from repro.data.matrix import MatrixData
@@ -41,6 +47,8 @@ class PipelineRun:
     equivalent: Optional[bool]
     rewrite: str
     used_views: List[str] = field(default_factory=list)
+    cache_hit: bool = False
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -85,16 +93,15 @@ def materialize_views(views: Sequence[LAView], catalog: Catalog, backend=None) -
         catalog.register_matrix(data)
 
 
-def run_pipeline(
+def _execute_run(
     name: str,
     expr: mx.Expr,
-    optimizer: HadadOptimizer,
+    result: RewriteResult,
     backend,
-    check_equivalence: bool = True,
-    execute: bool = True,
+    check_equivalence: bool,
+    execute: bool,
 ) -> PipelineRun:
-    """Optimize and (optionally) execute one pipeline, original vs rewrite."""
-    result: RewriteResult = optimizer.rewrite(expr)
+    """Turn one rewrite result into a measured :class:`PipelineRun`."""
     q_exec = rw_exec = 0.0
     equivalent: Optional[bool] = None
     if execute:
@@ -116,7 +123,48 @@ def run_pipeline(
         equivalent=equivalent,
         rewrite=result.best.to_string(),
         used_views=result.used_views,
+        cache_hit=result.cache_hit,
+        stage_timings=dict(result.stage_timings),
     )
+
+
+def run_pipeline(
+    name: str,
+    expr: mx.Expr,
+    optimizer,
+    backend,
+    check_equivalence: bool = True,
+    execute: bool = True,
+) -> PipelineRun:
+    """Optimize and (optionally) execute one pipeline, original vs rewrite.
+
+    ``optimizer`` is anything with a ``rewrite(expr)`` method — a
+    :class:`~repro.planner.PlanSession` or the ``HadadOptimizer`` façade.
+    """
+    result: RewriteResult = optimizer.rewrite(expr)
+    return _execute_run(name, expr, result, backend, check_equivalence, execute)
+
+
+def run_pipelines(
+    pipelines: Sequence[Tuple[str, mx.Expr]],
+    optimizer,
+    backend,
+    check_equivalence: bool = True,
+    execute: bool = True,
+) -> List[PipelineRun]:
+    """Optimize a whole sweep as one batch, then execute pipeline by pipeline.
+
+    Planning goes through ``rewrite_all``, so structurally identical
+    pipelines are planned exactly once (fingerprint deduplication) and — on a
+    cache-enabled :class:`~repro.planner.PlanSession` — repeated sweeps reuse
+    earlier plans entirely.
+    """
+    pipelines = list(pipelines)  # tolerate one-shot iterables (zip, generators)
+    results = optimizer.rewrite_all([expr for _, expr in pipelines])
+    return [
+        _execute_run(name, expr, result, backend, check_equivalence, execute)
+        for (name, expr), result in zip(pipelines, results)
+    ]
 
 
 def print_report(title: str, runs: Sequence[PipelineRun]) -> str:

@@ -10,17 +10,23 @@ Two engines are provided, matching the two places the paper uses the chase:
   conjunctive queries and conjunctive-query views, used for the relational
   (RA) part of hybrid queries.
 
-:mod:`repro.chase.homomorphism` contains the shared homomorphism machinery.
+:mod:`repro.chase.homomorphism` contains the shared homomorphism machinery;
+:mod:`repro.chase.program` compiles constraint lists into reusable, indexed
+:class:`~repro.chase.program.ConstraintProgram` objects so long-lived
+planner sessions never re-analyse their constraints per rewrite.
 """
 
 from repro.chase.saturation import SaturationEngine, SaturationResult, CostThresholdPruner
 from repro.chase.homomorphism import find_instance_matches
 from repro.chase.pacb import ConjunctiveQuery, RelationalView, PACBRewriter
+from repro.chase.program import CompiledConstraint, ConstraintProgram
 
 __all__ = [
     "SaturationEngine",
     "SaturationResult",
     "CostThresholdPruner",
+    "CompiledConstraint",
+    "ConstraintProgram",
     "find_instance_matches",
     "ConjunctiveQuery",
     "RelationalView",

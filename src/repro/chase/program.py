@@ -1,0 +1,123 @@
+"""Compiled constraint programs: the chase's reusable, indexed form.
+
+A :class:`ConstraintProgram` is built **once** per optimizer / plan session
+from a constraint list and reused across every saturation run.  Compilation
+does three things:
+
+* validates the set (unique names, safe EGD conclusions) up front, so the
+  per-rewrite path never re-checks;
+* records, per constraint, its *trigger relations* — the relations its
+  premise joins over — plus whether the premise consults ``size`` (shape
+  metadata rather than stored atoms);
+* partitions constraints by kind (TGD / EGD) while preserving the original
+  application order, which the engine relies on for deterministic results.
+
+During saturation the engine compares each constraint's trigger-relation
+versions (see :meth:`repro.vrem.instance.VremInstance.relation_version`)
+against the values observed when the constraint was last attempted; a
+constraint none of whose trigger relations changed cannot produce a new
+match and is skipped.  This is the semi-naive flavour of the chase that the
+staged planner leans on: on typical pipelines most constraints are dormant
+in most rounds, so indexing removes the bulk of the homomorphism searches
+without changing the reached fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.core import Constraint, EGD, TGD, validate_constraints
+from repro.vrem.instance import VremInstance
+
+#: Relations matched against per-class metadata instead of stored atoms.
+_METADATA_RELATIONS = frozenset({"size"})
+
+
+@dataclass(frozen=True)
+class CompiledConstraint:
+    """One constraint plus its precomputed trigger metadata."""
+
+    constraint: Constraint
+    #: Premise relations backed by stored atoms (joins over these can only
+    #: change when the relations' atom sets change).
+    trigger_relations: Tuple[str, ...]
+    #: Whether the premise consults shape metadata (``size`` atoms).
+    uses_shapes: bool
+    is_tgd: bool
+
+    @property
+    def name(self) -> str:
+        return self.constraint.name
+
+    def stamp(self, instance: VremInstance) -> Tuple[int, ...]:
+        """Version stamp of everything this constraint's premise reads.
+
+        The stamp strictly increases whenever any trigger relation gains or
+        re-canonicalises an atom (or, for shape-reading constraints, a class
+        gains a shape), so an unchanged stamp proves the premise's match set
+        is unchanged since the constraint was last attempted.
+        """
+        versions = tuple(
+            instance.relation_version(relation) for relation in self.trigger_relations
+        )
+        if self.uses_shapes:
+            return versions + (instance.shape_version,)
+        return versions
+
+
+class ConstraintProgram:
+    """An ordered constraint set compiled for repeated, indexed saturation."""
+
+    def __init__(self, constraints: Sequence[Constraint], validate: bool = True):
+        if validate:
+            validate_constraints(constraints)
+        self.constraints: List[Constraint] = list(constraints)
+        self.compiled: List[CompiledConstraint] = [
+            self._compile(constraint) for constraint in self.constraints
+        ]
+        #: Conclusion relation -> names of TGDs inserting into it (handy for
+        #: diagnostics and tests; not consulted on the hot path).
+        self.producers_by_relation: Dict[str, List[str]] = {}
+        for constraint in self.constraints:
+            if isinstance(constraint, TGD):
+                for relation in constraint.conclusion_relations():
+                    self.producers_by_relation.setdefault(relation, []).append(
+                        constraint.name
+                    )
+
+    @staticmethod
+    def _compile(constraint: Constraint) -> CompiledConstraint:
+        premise_relations = constraint.premise_relations()
+        triggers = tuple(
+            relation for relation in premise_relations if relation not in _METADATA_RELATIONS
+        )
+        return CompiledConstraint(
+            constraint=constraint,
+            trigger_relations=triggers,
+            uses_shapes=any(r in _METADATA_RELATIONS for r in premise_relations),
+            is_tgd=isinstance(constraint, TGD),
+        )
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def extended(self, extra: Sequence[Constraint]) -> "ConstraintProgram":
+        """A new program with ``extra`` constraints appended (e.g. view rules)."""
+        if not extra:
+            return self
+        return ConstraintProgram(self.constraints + list(extra))
+
+    @classmethod
+    def coerce(
+        cls, constraints: "Optional[Sequence[Constraint] | ConstraintProgram]"
+    ) -> "ConstraintProgram":
+        """Wrap a plain constraint list, passing compiled programs through."""
+        if isinstance(constraints, ConstraintProgram):
+            return constraints
+        # Engine callers historically pass unvalidated ad-hoc lists (tests,
+        # notebooks); keep that path lenient.
+        return cls(constraints or (), validate=False)
+
+
+__all__ = ["CompiledConstraint", "ConstraintProgram"]

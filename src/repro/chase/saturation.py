@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.core import Constraint, EGD, TGD
 from repro.chase.homomorphism import Binding, find_instance_matches, is_satisfied
+from repro.chase.program import ConstraintProgram
 from repro.exceptions import ChaseBudgetExceeded, ChaseError
 from repro.vrem.atoms import Atom, Const, Var
 from repro.vrem.instance import VremInstance
@@ -42,11 +43,21 @@ class CostThresholdPruner:
     intermediate results.  A chase step that would create a *new* matrix
     intermediate whose dense size alone exceeds the threshold can never be
     part of a minimum-cost rewriting and is skipped.
+
+    The threshold is not static: as the saturation loop discovers cheaper
+    rewritings of the root, :meth:`tighten` lowers it monotonically, so later
+    rounds prune even derivations that were admissible against the original
+    plan's cost.  ``pruned_by_tightening`` counts the applications rejected
+    *only* because of tightening (i.e. the initial threshold would still have
+    admitted them) — the extra pruning the dynamic bound buys.
     """
 
     def __init__(self, threshold: float):
         self.threshold = float(threshold)
+        self.initial_threshold = self.threshold
         self.pruned_applications = 0
+        self.pruned_by_tightening = 0
+        self.tightenings = 0
 
     def allows(self, shape: Optional[Shape]) -> bool:
         """Whether an intermediate of the given shape may be materialised."""
@@ -54,9 +65,18 @@ class CostThresholdPruner:
             return True
         return float(shape[0]) * float(shape[1]) <= self.threshold
 
+    def allowed_initially(self, shape: Optional[Shape]) -> bool:
+        """Whether the *initial* (un-tightened) threshold would admit ``shape``."""
+        if shape is None:
+            return True
+        return float(shape[0]) * float(shape[1]) <= self.initial_threshold
+
     def tighten(self, new_threshold: float) -> None:
         """Lower the threshold (monotonically) as better rewritings are found."""
-        self.threshold = min(self.threshold, float(new_threshold))
+        new_threshold = float(new_threshold)
+        if new_threshold < self.threshold:
+            self.threshold = new_threshold
+            self.tightenings += 1
 
 
 @dataclass
@@ -72,24 +92,49 @@ class SaturationResult:
     atom_count: int = 0
     class_count: int = 0
     applications_by_constraint: Dict[str, int] = field(default_factory=dict)
+    #: Applications rejected only because the threshold was tightened
+    #: mid-saturation (the initial threshold would have admitted them).
+    pruned_by_tightening: int = 0
+    #: How many times the pruner's threshold actually dropped.
+    threshold_tightenings: int = 0
+    #: Constraint attempts skipped by the trigger-relation index because none
+    #: of their premise relations changed since the last attempt.
+    constraints_skipped: int = 0
+    #: The pruner's threshold when saturation finished (None without pruning).
+    final_threshold: Optional[float] = None
 
 
 class SaturationEngine:
-    """Applies a constraint set to a VREM instance until fixpoint or budget."""
+    """Applies a constraint set to a VREM instance until fixpoint or budget.
+
+    The constraint set may be given as a plain sequence (compiled on the
+    spot) or as a precompiled :class:`~repro.chase.program.ConstraintProgram`
+    shared across many saturation runs — the planner's
+    :class:`~repro.planner.session.PlanSession` does the latter, so the
+    per-rewrite path never re-analyses the constraints.
+
+    With ``use_index=True`` (the default) each round only attempts the
+    constraints whose premise trigger relations actually changed since the
+    constraint was last attempted; the reached fixpoint is identical to the
+    unindexed chase, only the dormant homomorphism searches are skipped.
+    """
 
     def __init__(
         self,
-        constraints: Sequence[Constraint],
+        constraints: Union[Sequence[Constraint], ConstraintProgram],
         max_rounds: int = 6,
         max_atoms: int = 20_000,
         max_classes: int = 8_000,
         raise_on_budget: bool = False,
+        use_index: bool = True,
     ):
-        self.constraints = list(constraints)
+        self.program = ConstraintProgram.coerce(constraints)
+        self.constraints = self.program.constraints
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
         self.max_classes = max_classes
         self.raise_on_budget = raise_on_budget
+        self.use_index = use_index
 
     # ------------------------------------------------------------------ helpers
     @staticmethod
@@ -151,9 +196,13 @@ class SaturationEngine:
                 continue
             if pruner is not None:
                 new_shapes = self._conclusion_new_shapes(tgd, binding, instance)
-                if any(not pruner.allows(shape) for shape in new_shapes):
+                blocked = [shape for shape in new_shapes if not pruner.allows(shape)]
+                if blocked:
                     pruner.pruned_applications += 1
                     stats.pruned_applications += 1
+                    if all(pruner.allowed_initially(shape) for shape in blocked):
+                        pruner.pruned_by_tightening += 1
+                        stats.pruned_by_tightening += 1
                     continue
             fresh: Dict[Var, int] = {}
             for atom in tgd.conclusion:
@@ -219,45 +268,66 @@ class SaturationEngine:
         self,
         instance: VremInstance,
         pruner: Optional[CostThresholdPruner] = None,
+        tighten: Optional[Callable[[VremInstance], Optional[float]]] = None,
     ) -> SaturationResult:
-        """Chase ``instance`` with the engine's constraints."""
+        """Chase ``instance`` with the engine's constraints.
+
+        ``tighten``, when given alongside a pruner, is called after every
+        round that changed the instance; it should return the cost bound of
+        the best rewriting currently extractable (or None when unknown), and
+        the pruner's threshold is lowered to it — the dynamic Prune_prov
+        bound of §7.3.
+        """
         stats = SaturationResult()
         start = time.perf_counter()
+        # Keyed by position, not name: ad-hoc constraint lists may carry
+        # duplicate names, and collapsing them here would skip real work.
+        last_stamp: Dict[int, Tuple[int, ...]] = {}
+
+        def finish() -> SaturationResult:
+            stats.elapsed_seconds = time.perf_counter() - start
+            stats.atom_count = instance.num_atoms()
+            stats.class_count = instance.num_classes()
+            if pruner is not None:
+                stats.final_threshold = pruner.threshold
+                stats.threshold_tightenings = pruner.tightenings
+            return stats
+
         for round_index in range(self.max_rounds):
             stats.rounds = round_index + 1
             changed = 0
-            for constraint in self.constraints:
+            for position, compiled in enumerate(self.program.compiled):
+                if self.use_index:
+                    stamp = compiled.stamp(instance)
+                    if last_stamp.get(position) == stamp:
+                        stats.constraints_skipped += 1
+                        continue
+                    # Record the pre-attempt stamp: applications made by this
+                    # very constraint bump the versions past it, correctly
+                    # re-queueing recursive constraints for the next round.
+                    last_stamp[position] = stamp
+                constraint = compiled.constraint
                 if isinstance(constraint, TGD):
-                    changed += self._apply_tgd(constraint, instance, pruner, stats)
-                    stats.tgd_applications = stats.tgd_applications + 0  # kept for clarity
+                    applications = self._apply_tgd(constraint, instance, pruner, stats)
+                    stats.tgd_applications += applications
                 elif isinstance(constraint, EGD):
-                    changed += self._apply_egd(constraint, instance, stats)
+                    applications = self._apply_egd(constraint, instance, stats)
+                    stats.egd_applications += applications
                 else:  # pragma: no cover - defensive
                     raise ChaseError(f"unsupported constraint type {type(constraint).__name__}")
+                changed += applications
                 if instance.num_atoms() > self.max_atoms or instance.num_classes() > self.max_classes:
                     if self.raise_on_budget:
                         raise ChaseBudgetExceeded(
                             f"saturation exceeded budget: atoms={instance.num_atoms()}, "
                             f"classes={instance.num_classes()}"
                         )
-                    stats.elapsed_seconds = time.perf_counter() - start
-                    stats.atom_count = instance.num_atoms()
-                    stats.class_count = instance.num_classes()
-                    return stats
-            stats.tgd_applications = sum(
-                count
-                for name, count in stats.applications_by_constraint.items()
-                if any(c.name == name and isinstance(c, TGD) for c in self.constraints)
-            )
-            stats.egd_applications = sum(
-                count
-                for name, count in stats.applications_by_constraint.items()
-                if any(c.name == name and isinstance(c, EGD) for c in self.constraints)
-            )
+                    return finish()
             if changed == 0:
                 stats.reached_fixpoint = True
                 break
-        stats.elapsed_seconds = time.perf_counter() - start
-        stats.atom_count = instance.num_atoms()
-        stats.class_count = instance.num_classes()
-        return stats
+            if tighten is not None and pruner is not None:
+                bound = tighten(instance)
+                if bound is not None:
+                    pruner.tighten(bound)
+        return finish()

@@ -103,6 +103,21 @@ class Constraint:
                     seen.append(var)
         return tuple(seen)
 
+    def premise_relations(self) -> Tuple[str, ...]:
+        """Relation names the premise joins over, in first-occurrence order.
+
+        These are the constraint's *trigger relations*: a saturation round
+        can only produce new matches for this constraint when at least one
+        of them gained atoms (or was re-canonicalised) since the constraint
+        was last attempted.  ``size`` is included; callers that track shape
+        metadata separately should treat it specially.
+        """
+        seen: List[str] = []
+        for atom in self.premise:
+            if atom.relation not in seen:
+                seen.append(atom.relation)
+        return tuple(seen)
+
 
 @dataclass(frozen=True)
 class TGD(Constraint):
@@ -117,6 +132,14 @@ class TGD(Constraint):
             for var in atom.variables():
                 if var not in premise_vars and var not in seen:
                     seen.append(var)
+        return tuple(seen)
+
+    def conclusion_relations(self) -> Tuple[str, ...]:
+        """Relation names the conclusion inserts into, in first-occurrence order."""
+        seen: List[str] = []
+        for atom in self.conclusion:
+            if atom.relation not in seen:
+                seen.append(atom.relation)
         return tuple(seen)
 
 

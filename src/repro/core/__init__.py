@@ -12,7 +12,10 @@ The optimizer realises the end-to-end reduction of Figure 1:
 4. the chosen derivation is decoded back into an LA expression
    (:mod:`repro.vrem.decoder`) that any backend can execute unchanged.
 
-The public entry point is :class:`repro.core.optimizer.HadadOptimizer`.
+The public entry point is :class:`repro.core.optimizer.HadadOptimizer`, a
+thin façade over the staged :class:`repro.planner.PlanSession`, which owns
+the long-lived state (compiled constraint program, saturation engine,
+fingerprint-keyed rewrite cache).
 """
 
 from repro.constraints.views import LAView
@@ -20,10 +23,12 @@ from repro.core.optimizer import HadadOptimizer
 from repro.core.result import RewriteResult
 from repro.core.extraction import extract_best_expression, enumerate_equivalent_expressions
 from repro.core.matchain import optimize_matmul_chains
+from repro.planner.session import PlanSession
 
 __all__ = [
     "LAView",
     "HadadOptimizer",
+    "PlanSession",
     "RewriteResult",
     "extract_best_expression",
     "enumerate_equivalent_expressions",

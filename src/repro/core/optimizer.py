@@ -12,32 +12,27 @@ The optimizer never executes anything: the chosen expression can be handed
 to any backend of :mod:`repro.backends` (or printed in the syntax of an
 external system) unchanged, which is the "no modification to the execution
 platform" claim of the paper.
+
+Since the planner refactor this class is a thin façade over
+:class:`repro.planner.PlanSession`, which owns the long-lived state: the
+constraint set compiled once into an indexed
+:class:`~repro.chase.program.ConstraintProgram`, the saturation engine, and
+a fingerprint-keyed rewrite cache.  The façade keeps the historical
+constructor and attribute surface; code that wants cache control, per-stage
+timings or batch deduplication should use the session directly (it is
+exposed as :attr:`HadadOptimizer.session`).
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.constraints import default_constraints
 from repro.constraints.core import Constraint
-from repro.constraints.views import LAView, constraints_for_views
-from repro.chase.saturation import CostThresholdPruner, SaturationEngine
-from repro.cost.model import annotate_instance_classes, expression_cost
-from repro.cost.naive_estimator import NaiveMetadataEstimator
-from repro.core.extraction import (
-    enumerate_equivalent_expressions,
-    extract_best_expression,
-)
-from repro.core.matchain import optimize_matmul_chains
+from repro.constraints.views import LAView
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
-from repro.exceptions import RewriteError, UnknownMatrixError
 from repro.lang import matrix_expr as mx
-from repro.lang.visitor import collect_refs
-from repro.vrem.atoms import Const
-from repro.vrem.encoder import LAEncoder
-from repro.vrem.instance import VremInstance
+from repro.planner.session import PlanSession
 
 
 class HadadOptimizer:
@@ -60,181 +55,145 @@ class HadadOptimizer:
         reorder_matmul_chains: bool = True,
         alternatives_limit: int = 6,
         normalized_matrices: Optional[Dict[str, Tuple[str, str, str]]] = None,
+        enable_cache: bool = True,
     ):
-        self.catalog = catalog
-        self.views = list(views)
-        self.estimator = estimator if estimator is not None else NaiveMetadataEstimator()
-        if constraints is None:
-            constraints = default_constraints(
-                include_decompositions=include_decompositions,
-                include_systemml=include_systemml_rules,
-                include_morpheus=include_morpheus_rules or bool(normalized_matrices),
-            )
-        self.base_constraints = list(constraints)
-        self._register_view_metadata()
-        self.view_constraints = constraints_for_views(
-            self.views, catalog, include_voi=include_view_voi
+        self.session = PlanSession(
+            catalog=catalog,
+            views=views,
+            estimator=estimator,
+            constraints=constraints,
+            include_decompositions=include_decompositions,
+            include_systemml_rules=include_systemml_rules,
+            include_morpheus_rules=include_morpheus_rules,
+            include_view_voi=include_view_voi,
+            max_rounds=max_rounds,
+            max_atoms=max_atoms,
+            max_classes=max_classes,
+            prune=prune,
+            reorder_matmul_chains=reorder_matmul_chains,
+            alternatives_limit=alternatives_limit,
+            normalized_matrices=normalized_matrices,
+            enable_cache=enable_cache,
         )
-        self.max_rounds = max_rounds
-        self.max_atoms = max_atoms
-        self.max_classes = max_classes
-        self.prune = prune
-        self.reorder_matmul_chains = reorder_matmul_chains
-        self.alternatives_limit = alternatives_limit
-        #: Mapping of a matrix name to the names of its Morpheus factors
-        #: (S, K, R), declaring it as a normalized (join-produced) matrix.
-        self.normalized_matrices = dict(normalized_matrices or {})
 
-    # ------------------------------------------------------------------ helpers
-    def _register_view_metadata(self) -> None:
-        """Make every view's stored result costable.
+    # ------------------------------------------------------------------ session state
+    # The historical attribute surface, delegated to the owning session.
+    # Setters keep post-construction assignment working the way it did on
+    # the monolithic optimizer; each one drops cached plans, since the cache
+    # key does not cover these knobs.
+    @property
+    def catalog(self) -> Optional[Catalog]:
+        return self.session.catalog
 
-        A materialized view is a file on disk accompanied by metadata
-        (dimensions, nnz); if the catalog does not already know the view's
-        storage name, metadata derived from the view definition is registered
-        so that rewritings referencing the view can be costed (and so that the
-        harness can later materialise the values under the same name).
-        """
-        if self.catalog is None:
-            return
-        from repro.cost.model import annotate_expression
-        from repro.data.matrix import MatrixMeta
+    @catalog.setter
+    def catalog(self, value: Optional[Catalog]) -> None:
+        self.session.catalog = value
+        self.session.invalidate()
 
-        for view in self.views:
-            if self.catalog.has_matrix(view.name):
-                continue
-            try:
-                info = annotate_expression(view.definition, self.catalog, self.estimator)[
-                    view.definition
-                ]
-            except UnknownMatrixError:
-                continue
-            if info.shape is None:
-                continue
-            self.catalog.register_metadata(
-                MatrixMeta(
-                    name=view.name,
-                    rows=info.shape[0],
-                    cols=info.shape[1],
-                    nnz=int(round(info.nnz)),
-                )
-            )
+    @property
+    def views(self) -> List[LAView]:
+        return self.session.views
+
+    @views.setter
+    def views(self, value: Sequence[LAView]) -> None:
+        self.session.set_views(value)
+
+    @property
+    def estimator(self):
+        return self.session.estimator
+
+    @estimator.setter
+    def estimator(self, value) -> None:
+        self.session.estimator = value
+        self.session.invalidate()
+
+    @property
+    def base_constraints(self) -> List[Constraint]:
+        return self.session.base_constraints
+
+    @property
+    def view_constraints(self) -> List[Constraint]:
+        return self.session.view_constraints
+
+    @property
+    def normalized_matrices(self) -> Dict[str, Tuple[str, str, str]]:
+        return self.session.normalized_matrices
+
+    @normalized_matrices.setter
+    def normalized_matrices(self, value: Optional[Dict[str, Tuple[str, str, str]]]) -> None:
+        self.session.set_normalized_matrices(value)
+
+    @property
+    def max_rounds(self) -> int:
+        return self.session.max_rounds
+
+    @max_rounds.setter
+    def max_rounds(self, value: int) -> None:
+        self.session.set_budgets(max_rounds=value)
+
+    @property
+    def max_atoms(self) -> int:
+        return self.session.max_atoms
+
+    @max_atoms.setter
+    def max_atoms(self, value: int) -> None:
+        self.session.set_budgets(max_atoms=value)
+
+    @property
+    def max_classes(self) -> int:
+        return self.session.max_classes
+
+    @max_classes.setter
+    def max_classes(self, value: int) -> None:
+        self.session.set_budgets(max_classes=value)
+
+    @property
+    def prune(self) -> bool:
+        return self.session.prune
+
+    @prune.setter
+    def prune(self, value: bool) -> None:
+        self.session.prune = bool(value)
+        self.session.invalidate()
+
+    @property
+    def reorder_matmul_chains(self) -> bool:
+        return self.session.reorder_matmul_chains
+
+    @reorder_matmul_chains.setter
+    def reorder_matmul_chains(self, value: bool) -> None:
+        self.session.reorder_matmul_chains = bool(value)
+        self.session.invalidate()
+
+    @property
+    def alternatives_limit(self) -> int:
+        return self.session.alternatives_limit
+
+    @alternatives_limit.setter
+    def alternatives_limit(self, value: int) -> None:
+        self.session.alternatives_limit = int(value)
+        self.session.invalidate()
 
     def _all_constraints(self) -> List[Constraint]:
-        return self.base_constraints + self.view_constraints
-
-    def _register_normalized_matrices(self, encoder: LAEncoder, expr: mx.Expr) -> None:
-        """Add ``factorized`` facts for declared normalized matrices."""
-        if not self.normalized_matrices:
-            return
-        referenced = collect_refs(expr)
-        for matrix_name, (s_name, k_name, r_name) in self.normalized_matrices.items():
-            if matrix_name not in referenced:
-                continue
-            m_cid = encoder.encode(mx.MatrixRef(matrix_name))
-            s_cid = encoder.encode(mx.MatrixRef(s_name))
-            k_cid = encoder.encode(mx.MatrixRef(k_name))
-            r_cid = encoder.encode(mx.MatrixRef(r_name))
-            encoder.instance.add_atom(
-                "factorized", (m_cid, s_cid, k_cid, r_cid), ("normalized-matrix",)
-            )
-
-    def _original_cost(self, expr: mx.Expr) -> float:
-        try:
-            return expression_cost(expr, self.catalog, self.estimator)
-        except UnknownMatrixError:
-            return float("inf")
+        return self.session.base_constraints + self.session.view_constraints
 
     # ------------------------------------------------------------------ main entry
     def rewrite(self, expr: mx.Expr) -> RewriteResult:
         """Find the minimum-cost equivalent of ``expr``."""
-        start = time.perf_counter()
-        original_cost = self._original_cost(expr)
-
-        instance = VremInstance()
-        encoder = LAEncoder(instance, self.catalog)
-        root = encoder.encode(expr)
-        self._register_normalized_matrices(encoder, expr)
-
-        pruner = None
-        if self.prune and original_cost != float("inf"):
-            # The threshold bounds the size of any single new intermediate: an
-            # intermediate larger than the entire original plan's cost can
-            # never appear in a better plan (Example 7.2).  A small slack
-            # keeps same-cost alternatives around for tie-breaking.
-            threshold = max(original_cost * 1.5, 1024.0)
-            pruner = CostThresholdPruner(threshold)
-
-        engine = SaturationEngine(
-            self._all_constraints(),
-            max_rounds=self.max_rounds,
-            max_atoms=self.max_atoms,
-            max_classes=self.max_classes,
-        )
-        stats = engine.saturate(instance, pruner)
-
-        infos = annotate_instance_classes(instance, self.catalog, self.estimator)
-        try:
-            best_expr, _ = extract_best_expression(instance, root, infos)
-        except RewriteError:
-            best_expr = expr
-        alternatives_raw = enumerate_equivalent_expressions(
-            instance, root, infos, limit=self.alternatives_limit
-        )
-
-        if self.reorder_matmul_chains and self.catalog is not None:
-            best_expr = optimize_matmul_chains(best_expr, self.catalog)
-
-        best_cost = self._cost_or_inf(best_expr)
-        # Never return something we estimate to be worse than the original.
-        if best_cost > original_cost or best_expr == expr:
-            if best_cost > original_cost:
-                best_expr, best_cost = expr, original_cost
-
-        alternatives: List[Tuple[mx.Expr, float]] = []
-        for alt_expr, _ in alternatives_raw:
-            alternatives.append((alt_expr, self._cost_or_inf(alt_expr)))
-        alternatives.sort(key=lambda pair: pair[1])
-
-        elapsed = time.perf_counter() - start
-        used_views = sorted(
-            name for name in collect_refs(best_expr) if name in {v.name for v in self.views}
-        )
-        return RewriteResult(
-            original=expr,
-            best=best_expr,
-            original_cost=original_cost,
-            best_cost=best_cost,
-            changed=best_expr != expr,
-            rewrite_seconds=elapsed,
-            alternatives=alternatives,
-            saturation=stats,
-            used_views=used_views,
-        )
-
-    def _cost_or_inf(self, expr: mx.Expr) -> float:
-        try:
-            return expression_cost(expr, self.catalog, self.estimator)
-        except UnknownMatrixError:
-            return float("inf")
+        return self.session.rewrite(expr)
 
     # ------------------------------------------------------------------ conveniences
     def rewrite_all(self, expressions: Iterable[mx.Expr]) -> List[RewriteResult]:
-        """Rewrite a batch of expressions (used by the benchmark harness)."""
-        return [self.rewrite(expr) for expr in expressions]
+        """Rewrite a batch of expressions, deduplicated by fingerprint."""
+        return self.session.rewrite_all(expressions)
 
     def with_views(self, views: Sequence[LAView]) -> "HadadOptimizer":
-        """A copy of this optimizer using a different view set."""
-        return HadadOptimizer(
-            catalog=self.catalog,
-            views=views,
-            estimator=self.estimator,
-            constraints=self.base_constraints,
-            max_rounds=self.max_rounds,
-            max_atoms=self.max_atoms,
-            max_classes=self.max_classes,
-            prune=self.prune,
-            reorder_matmul_chains=self.reorder_matmul_chains,
-            alternatives_limit=self.alternatives_limit,
-            normalized_matrices=self.normalized_matrices,
-        )
+        """A copy of this optimizer using a different view set.
+
+        All constructor options are preserved (``include_view_voi``, the
+        Morpheus / normalized-matrix settings, budgets, pruning, …); only the
+        views change.
+        """
+        copy = HadadOptimizer.__new__(HadadOptimizer)
+        copy.session = self.session.with_views(views)
+        return copy

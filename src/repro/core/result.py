@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.chase.saturation import SaturationResult
 from repro.lang import matrix_expr as mx
@@ -33,6 +33,14 @@ class RewriteResult:
         Chase statistics.
     used_views:
         Names of materialized views referenced by ``best``.
+    stage_timings:
+        Wall-clock seconds per planner stage (encode / saturate / annotate /
+        extract / postopt), filled by :class:`repro.planner.PlanSession`.
+    cache_hit:
+        True when this result was served from the session's rewrite cache
+        (timings then refer to the original planning run).
+    fingerprint:
+        Structural fingerprint of ``original`` (the cache key component).
     """
 
     original: mx.Expr
@@ -44,6 +52,9 @@ class RewriteResult:
     alternatives: List[Tuple[mx.Expr, float]] = field(default_factory=list)
     saturation: Optional[SaturationResult] = None
     used_views: List[str] = field(default_factory=list)
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+    fingerprint: Optional[str] = None
 
     @property
     def estimated_speedup(self) -> float:

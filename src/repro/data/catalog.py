@@ -35,6 +35,17 @@ class Catalog:
         self._metadata_only: Dict[str, MatrixMeta] = {}
         self._tables: Dict[str, Table] = {}
         self._scalars: Dict[str, float] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped on every registration or drop.
+
+        Rewrite caches key their entries on this counter, so any catalog
+        change (new matrices, updated metadata, new tables or scalars)
+        implicitly invalidates plans computed against the old contents.
+        """
+        return self._version
 
     # -- matrices -------------------------------------------------------------
     def register_matrix(self, data: MatrixData, overwrite: bool = False) -> MatrixData:
@@ -44,6 +55,7 @@ class Catalog:
             raise CatalogError(f"matrix {name!r} is already registered")
         self._matrices[name] = data
         self._metadata_only.pop(name, None)
+        self._version += 1
         return data
 
     def register_dense(
@@ -80,6 +92,7 @@ class Catalog:
         if not overwrite and (meta.name in self._matrices or meta.name in self._metadata_only):
             raise CatalogError(f"matrix {meta.name!r} is already registered")
         self._metadata_only[meta.name] = meta
+        self._version += 1
         return meta
 
     def matrix(self, name: str) -> MatrixData:
@@ -114,14 +127,17 @@ class Catalog:
         return sorted(seen)
 
     def drop_matrix(self, name: str) -> None:
-        self._matrices.pop(name, None)
-        self._metadata_only.pop(name, None)
+        dropped = self._matrices.pop(name, None)
+        dropped_meta = self._metadata_only.pop(name, None)
+        if dropped is not None or dropped_meta is not None:
+            self._version += 1
 
     # -- scalars ----------------------------------------------------------------
     def register_scalar(self, name: str, value: float, overwrite: bool = False) -> float:
         if not overwrite and name in self._scalars:
             raise CatalogError(f"scalar {name!r} is already registered")
         self._scalars[name] = float(value)
+        self._version += 1
         return self._scalars[name]
 
     def scalar(self, name: str) -> float:
@@ -138,6 +154,7 @@ class Catalog:
         if not overwrite and table.name in self._tables:
             raise CatalogError(f"table {table.name!r} is already registered")
         self._tables[table.name] = table
+        self._version += 1
         return table
 
     def table(self, name: str) -> Table:

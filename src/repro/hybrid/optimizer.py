@@ -1,7 +1,8 @@
 """The hybrid optimizer: combined RA and LA rewriting of hybrid queries.
 
-For the LA analysis part, the ordinary :class:`~repro.core.HadadOptimizer`
-is used, extended with
+For the LA analysis part, a long-lived :class:`~repro.planner.PlanSession`
+is used (one per distinct factor-set, reused across rewrites so repeated
+queries hit the session's fingerprint-keyed rewrite cache), extended with
 
 * the Morpheus factorization rules (a :class:`JoinFeatureMatrix` builder is
   declared as a *normalized matrix* over its base-table factors, so that
@@ -27,11 +28,11 @@ from scipy import sparse
 
 from repro.backends.relational import RelationalEngine
 from repro.constraints.views import LAView
-from repro.core.optimizer import HadadOptimizer
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
 from repro.data.matrix import MatrixData, MatrixMeta
 from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
+from repro.planner.session import PlanSession
 
 
 @dataclass
@@ -86,9 +87,44 @@ class HybridOptimizer:
         self.estimator = estimator
         self.factor_names = dict(factor_names or {})
         self.max_rounds = max_rounds
+        #: One plan session per distinct (factor set, LA configuration);
+        #: reusing sessions keeps the compiled constraint program and the
+        #: rewrite cache warm across repeated hybrid queries, while still
+        #: honouring later mutation of ``la_views`` / ``estimator`` /
+        #: ``max_rounds`` (a new configuration simply keys a new session).
+        self._sessions: Dict[Tuple, PlanSession] = {}
+        #: Catalog version at which factor matrices were last materialized;
+        #: any catalog change (e.g. a base table being replaced) forces a
+        #: rebuild so the factors never go stale.
+        self._factors_catalog_version: Optional[int] = None
+
+    def _session_for(self, factors: Dict[str, Tuple[str, str, str]]) -> PlanSession:
+        key = (
+            tuple(sorted(factors.items())),
+            tuple(
+                (view.name, view.definition.fingerprint()) for view in self.la_views
+            ),
+            id(self.catalog),
+            id(self.estimator),
+            self.max_rounds,
+        )
+        session = self._sessions.get(key)
+        if session is None:
+            session = PlanSession(
+                catalog=self.catalog,
+                views=list(self.la_views),
+                estimator=self.estimator,
+                include_morpheus_rules=bool(factors),
+                normalized_matrices=factors,
+                max_rounds=self.max_rounds,
+            )
+            self._sessions[key] = session
+        return session
 
     # ------------------------------------------------------------------ factors
-    def ensure_factor_matrices(self, query: HybridQuery) -> Dict[str, Tuple[str, str, str]]:
+    def ensure_factor_matrices(
+        self, query: HybridQuery, force: bool = False
+    ) -> Dict[str, Tuple[str, str, str]]:
         """Materialize (S, K, R) factor matrices for the join builders.
 
         For a :class:`JoinFeatureMatrix` named ``M`` over tables T and U, the
@@ -100,6 +136,19 @@ class HybridOptimizer:
         engine = RelationalEngine(self.catalog)
         for builder in query.builders:
             if not isinstance(builder, JoinFeatureMatrix) or builder.name in factors:
+                continue
+            s_name, k_name, r_name = (
+                f"{builder.name}__S",
+                f"{builder.name}__K",
+                f"{builder.name}__R",
+            )
+            if not force and all(
+                self.catalog.has_matrix_values(name) for name in (s_name, k_name, r_name)
+            ):
+                # Already materialized and the catalog is unchanged since;
+                # re-registering would only bump the catalog version and
+                # needlessly invalidate cached plans.
+                factors[builder.name] = (s_name, k_name, r_name)
                 continue
             left = self.catalog.table(builder.left_table)
             right = self.catalog.table(builder.right_table)
@@ -113,7 +162,6 @@ class HybridOptimizer:
                 (np.ones(len(cols)), (np.arange(len(cols)), cols)),
                 shape=(len(left_keys), len(right_keys)),
             )
-            s_name, k_name, r_name = f"{builder.name}__S", f"{builder.name}__K", f"{builder.name}__R"
             self.catalog.register_dense(s_name, s_values, overwrite=True)
             self.catalog.register_sparse(k_name, indicator, overwrite=True)
             self.catalog.register_dense(r_name, r_values, overwrite=True)
@@ -123,9 +171,15 @@ class HybridOptimizer:
     # ------------------------------------------------------------------ main entry
     def rewrite(self, query: HybridQuery, materialize_factors: bool = True) -> HybridRewriteResult:
         start = time.perf_counter()
-        factors = (
-            self.ensure_factor_matrices(query) if materialize_factors else dict(self.factor_names)
-        )
+        if materialize_factors:
+            # Rebuild the factor matrices whenever the catalog changed since
+            # they were last materialized (a replaced base table must never
+            # leave the factorized plan computing on stale S/K/R values); an
+            # unchanged catalog reuses them, keeping cached plans valid.
+            stale = self.catalog.version != self._factors_catalog_version
+            factors = self.ensure_factor_matrices(query, force=stale)
+        else:
+            factors = dict(self.factor_names)
         # Declare metadata for builder outputs that are not materialized yet,
         # so the LA cost model can reason about them.
         for builder in query.builders:
@@ -147,15 +201,14 @@ class HybridOptimizer:
                     )
                 )
 
-        la_optimizer = HadadOptimizer(
-            catalog=self.catalog,
-            views=self.la_views,
-            estimator=self.estimator,
-            include_morpheus_rules=bool(factors),
-            normalized_matrices=factors,
-            max_rounds=self.max_rounds,
-        )
-        la_result = la_optimizer.rewrite(query.analysis)
+        la_session = self._session_for(factors)
+        if materialize_factors:
+            # Record the settled version only now: session creation may have
+            # registered view metadata, bumping the catalog version, and
+            # recording earlier would force a factor rebuild (and a cache
+            # miss) on the very next rewrite.
+            self._factors_catalog_version = self.catalog.version
+        la_result = la_session.rewrite(query.analysis)
 
         substitutions: Dict[str, str] = {}
         for builder in query.builders:

@@ -18,6 +18,7 @@ included as well so that the MMC_StatAgg constraints can be expressed.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Tuple, Union
 
 from repro.exceptions import TypeMismatchError
@@ -39,7 +40,7 @@ class Expr:
 
     op: str = "expr"
     arity: int = 0
-    __slots__ = ("_children", "_payload", "_hash")
+    __slots__ = ("_children", "_payload", "_hash", "_fingerprint")
 
     def __init__(self, children: Tuple["Expr", ...] = (), payload: Tuple = ()):
         for child in children:
@@ -51,6 +52,7 @@ class Expr:
         self._children = tuple(children)
         self._payload = tuple(payload)
         self._hash = hash((self.op, self._children, self._payload))
+        self._fingerprint = None
 
     # -- structural identity -------------------------------------------------
     @property
@@ -66,6 +68,32 @@ class Expr:
     def signature(self) -> Tuple:
         """A tuple uniquely identifying this node up to structural equality."""
         return (self.op, self._children, self._payload)
+
+    def fingerprint(self) -> str:
+        """Canonical structural fingerprint of this expression tree.
+
+        Two expressions have the same fingerprint iff they are structurally
+        equal (``__eq__``), up to hash collisions of the underlying 128-bit
+        digest.  Unlike ``hash()``, the fingerprint is stable across
+        processes, so it can key persistent caches (the planner's
+        :class:`~repro.planner.cache.RewriteCache`) and appear in logs.  The
+        digest is computed once per node and cached.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.op.encode("utf-8"))
+            digest.update(b"\x00")
+            for item in self._payload:
+                digest.update(type(item).__name__.encode("utf-8"))
+                digest.update(repr(item).encode("utf-8"))
+                digest.update(b"\x01")
+            digest.update(b"\x02")
+            for child in self._children:
+                digest.update(bytes.fromhex(child.fingerprint()))
+            fp = digest.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     def __eq__(self, other) -> bool:
         return (

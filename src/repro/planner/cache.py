@@ -1,0 +1,85 @@
+"""Fingerprint-keyed LRU cache of rewrite results.
+
+HADAD's pitch is that rewriting overhead stays negligible next to execution
+(§9.1.3); for a long-lived optimizer service the cheapest rewrite is the one
+never recomputed.  Benchmark view sweeps and hybrid workloads rewrite the
+same pipeline shapes over and over, so a
+:class:`~repro.planner.session.PlanSession` memoises finished
+:class:`~repro.core.result.RewriteResult` objects under a key combining
+
+* the **structural fingerprint** of the input expression
+  (:meth:`repro.lang.matrix_expr.Expr.fingerprint`),
+* the **view-set key** — names + definition fingerprints of the session's
+  views and its normalized-matrix declarations, and
+* the **catalog version** — any registration/drop bumps it, invalidating
+  every plan computed against the stale contents.
+
+Entries are immutable: expressions are value objects and the session hands
+out shallow copies of the result, so sharing across callers is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.core.result import RewriteResult
+
+CacheKey = Tuple[Hashable, ...]
+
+
+class RewriteCache:
+    """A bounded LRU mapping of plan keys to finished rewrite results."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("RewriteCache capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[CacheKey, RewriteResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[RewriteResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, result: RewriteResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters for reports and benchmarks."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+__all__ = ["RewriteCache", "CacheKey"]

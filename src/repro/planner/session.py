@@ -1,0 +1,331 @@
+"""Plan sessions: long-lived, cached drivers of the staged planner pipeline.
+
+A :class:`PlanSession` owns everything that survives between rewrites —
+catalog and estimator references, the constraint set compiled once into a
+:class:`~repro.chase.program.ConstraintProgram`, the
+:class:`~repro.chase.saturation.SaturationEngine` built on top of it, and a
+fingerprint-keyed :class:`~repro.planner.cache.RewriteCache` — and runs the
+per-rewrite stages of :mod:`repro.planner.stages` over it.
+
+:class:`repro.core.optimizer.HadadOptimizer` is a thin façade over this
+class; new code (the hybrid optimizer, the benchmark harness, services)
+should talk to the session directly to benefit from caching and batch
+deduplication.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chase.program import ConstraintProgram
+from repro.chase.saturation import SaturationEngine
+from repro.constraints import default_constraints
+from repro.constraints.core import Constraint
+from repro.constraints.views import LAView, constraints_for_views
+from repro.core.result import RewriteResult
+from repro.cost.naive_estimator import NaiveMetadataEstimator
+from repro.data.catalog import Catalog
+from repro.exceptions import UnknownMatrixError
+from repro.lang import matrix_expr as mx
+from repro.planner.cache import CacheKey, RewriteCache
+from repro.planner.stages import DEFAULT_STAGES, PlanContext, Stage
+
+
+class PlanSession:
+    """Reusable planning state plus the staged rewrite pipeline."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        views: Sequence[LAView] = (),
+        estimator=None,
+        constraints: Optional[Sequence[Constraint]] = None,
+        include_decompositions: bool = False,
+        include_systemml_rules: bool = True,
+        include_morpheus_rules: bool = False,
+        include_view_voi: bool = True,
+        max_rounds: int = 4,
+        max_atoms: int = 2_500,
+        max_classes: int = 1_200,
+        prune: bool = True,
+        reorder_matmul_chains: bool = True,
+        alternatives_limit: int = 6,
+        normalized_matrices: Optional[Dict[str, Tuple[str, str, str]]] = None,
+        cache_size: int = 256,
+        enable_cache: bool = True,
+        use_constraint_index: bool = True,
+        tighten_thresholds: bool = True,
+        stages: Optional[Sequence[Stage]] = None,
+    ):
+        self.catalog = catalog
+        self.views = list(views)
+        self.estimator = estimator if estimator is not None else NaiveMetadataEstimator()
+        # Remember the constructor knobs so façades can clone the session
+        # (``with_views``) without silently dropping options.
+        self.include_decompositions = include_decompositions
+        self.include_systemml_rules = include_systemml_rules
+        self.include_morpheus_rules = include_morpheus_rules
+        self.include_view_voi = include_view_voi
+        self.normalized_matrices = dict(normalized_matrices or {})
+        if constraints is None:
+            constraints = default_constraints(
+                include_decompositions=include_decompositions,
+                include_systemml=include_systemml_rules,
+                include_morpheus=include_morpheus_rules or bool(self.normalized_matrices),
+            )
+        self.base_constraints = list(constraints)
+        self._register_view_metadata()
+        self.view_constraints = constraints_for_views(
+            self.views, catalog, include_voi=include_view_voi
+        )
+        #: Compiled once; every rewrite reuses the indexed program.
+        self.program = ConstraintProgram(
+            self.base_constraints + self.view_constraints, validate=False
+        )
+        self.max_rounds = max_rounds
+        self.max_atoms = max_atoms
+        self.max_classes = max_classes
+        self.prune = prune
+        self.reorder_matmul_chains = reorder_matmul_chains
+        self.alternatives_limit = alternatives_limit
+        self.tighten_thresholds = tighten_thresholds
+        self.engine = SaturationEngine(
+            self.program,
+            max_rounds=max_rounds,
+            max_atoms=max_atoms,
+            max_classes=max_classes,
+            use_index=use_constraint_index,
+        )
+        self.stages: Tuple[Stage, ...] = tuple(stages) if stages is not None else DEFAULT_STAGES
+        self.enable_cache = enable_cache
+        self.cache = RewriteCache(cache_size)
+
+    # ------------------------------------------------------------------ setup
+    def _register_view_metadata(self) -> None:
+        """Make every view's stored result costable.
+
+        A materialized view is a file on disk accompanied by metadata
+        (dimensions, nnz); if the catalog does not already know the view's
+        storage name, metadata derived from the view definition is registered
+        so that rewritings referencing the view can be costed (and so that the
+        harness can later materialise the values under the same name).
+        """
+        if self.catalog is None:
+            return
+        from repro.cost.model import annotate_expression
+        from repro.data.matrix import MatrixMeta
+
+        for view in self.views:
+            if self.catalog.has_matrix(view.name):
+                continue
+            try:
+                info = annotate_expression(view.definition, self.catalog, self.estimator)[
+                    view.definition
+                ]
+            except UnknownMatrixError:
+                continue
+            if info.shape is None:
+                continue
+            self.catalog.register_metadata(
+                MatrixMeta(
+                    name=view.name,
+                    rows=info.shape[0],
+                    cols=info.shape[1],
+                    nnz=int(round(info.nnz)),
+                )
+            )
+
+    def _compute_viewset_key(self) -> Tuple:
+        # Recomputed on every cache probe (it is cheap: expression
+        # fingerprints are cached on the nodes) so that in-place mutation of
+        # ``views`` or ``normalized_matrices`` changes the key rather than
+        # serving plans computed under the old declarations.
+        views = tuple(
+            sorted((view.name, view.definition.fingerprint()) for view in self.views)
+        )
+        normalized = tuple(sorted(self.normalized_matrices.items()))
+        return (views, normalized)
+
+    # ------------------------------------------------------------------ reconfiguration
+    def set_views(self, views: Sequence[LAView]) -> None:
+        """Swap the session's view set in place.
+
+        Re-derives the view constraints, recompiles the constraint program,
+        rebuilds the engine and drops every cached plan — the in-place
+        equivalent of :meth:`with_views`.
+        """
+        self.views = list(views)
+        self._register_view_metadata()
+        self.view_constraints = constraints_for_views(
+            self.views, self.catalog, include_voi=self.include_view_voi
+        )
+        self.program = ConstraintProgram(
+            self.base_constraints + self.view_constraints, validate=False
+        )
+        self.engine = SaturationEngine(
+            self.program,
+            max_rounds=self.max_rounds,
+            max_atoms=self.max_atoms,
+            max_classes=self.max_classes,
+            use_index=self.engine.use_index,
+        )
+        self.invalidate()
+
+    def set_normalized_matrices(
+        self, normalized: Optional[Dict[str, Tuple[str, str, str]]]
+    ) -> None:
+        """Swap the normalized-matrix declarations in place.
+
+        The declarations are part of every cache key, so new ones take
+        effect immediately; cached plans are dropped for hygiene.  Note
+        that, as at construction time, the Morpheus constraint set itself is
+        not re-derived.
+        """
+        self.normalized_matrices = dict(normalized or {})
+        self.invalidate()
+
+    def set_budgets(
+        self,
+        max_rounds: Optional[int] = None,
+        max_atoms: Optional[int] = None,
+        max_classes: Optional[int] = None,
+    ) -> None:
+        """Adjust the saturation budgets (cached plans are dropped)."""
+        if max_rounds is not None:
+            self.max_rounds = self.engine.max_rounds = max_rounds
+        if max_atoms is not None:
+            self.max_atoms = self.engine.max_atoms = max_atoms
+        if max_classes is not None:
+            self.max_classes = self.engine.max_classes = max_classes
+        self.invalidate()
+
+    # ------------------------------------------------------------------ cache
+    def cache_key(self, expr: mx.Expr) -> CacheKey:
+        """(expression fingerprint, view-set key, catalog version)."""
+        catalog_version = self.catalog.version if self.catalog is not None else -1
+        return (expr.fingerprint(), self._compute_viewset_key(), catalog_version)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (catalog changes do this implicitly)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------ rewriting
+    @staticmethod
+    def _copy_result(result: RewriteResult, **overrides) -> RewriteResult:
+        """A handed-out copy whose mutable containers are private.
+
+        Cached entries must stay pristine, so every result crossing the
+        session boundary gets its own lists/dicts (including the saturation
+        stats); expressions are immutable value objects and can be shared.
+        """
+        saturation = result.saturation
+        if saturation is not None:
+            saturation = replace(
+                saturation,
+                applications_by_constraint=dict(saturation.applications_by_constraint),
+            )
+        return replace(
+            result,
+            alternatives=list(result.alternatives),
+            used_views=list(result.used_views),
+            stage_timings=dict(result.stage_timings),
+            saturation=saturation,
+            **overrides,
+        )
+
+    def rewrite(self, expr: mx.Expr) -> RewriteResult:
+        """Find the minimum-cost equivalent of ``expr`` (cached)."""
+        start = time.perf_counter()
+        key = self.cache_key(expr) if self.enable_cache else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self._copy_result(
+                    cached,
+                    rewrite_seconds=time.perf_counter() - start,
+                    cache_hit=True,
+                )
+        result = self._plan(expr, start)
+        if key is not None:
+            # Store a private copy: callers may freely mutate the returned
+            # result's lists without corrupting future cache hits.
+            self.cache.put(key, self._copy_result(result))
+        return result
+
+    def rewrite_all(self, expressions: Iterable[mx.Expr]) -> List[RewriteResult]:
+        """Rewrite a batch, planning each distinct expression only once.
+
+        Structurally identical inputs (equal fingerprints) share one planning
+        run — the dominant pattern in benchmark view sweeps — and every
+        duplicate's result is marked as a cache hit.  Results come back in
+        input order.
+        """
+        expressions = list(expressions)
+        planned: Dict[str, RewriteResult] = {}
+        results: List[RewriteResult] = []
+        for expr in expressions:
+            fingerprint = expr.fingerprint()
+            prior = planned.get(fingerprint)
+            if prior is None:
+                prior = self.rewrite(expr)
+                planned[fingerprint] = prior
+                results.append(prior)
+            else:
+                results.append(self._copy_result(prior, cache_hit=True))
+        return results
+
+    def _plan(self, expr: mx.Expr, start: float) -> RewriteResult:
+        ctx = PlanContext(session=self, expr=expr)
+        for stage in self.stages:
+            stage_start = time.perf_counter()
+            stage.run(ctx)
+            ctx.timings[stage.name] = time.perf_counter() - stage_start
+        return RewriteResult(
+            original=expr,
+            best=ctx.best_expr,
+            original_cost=ctx.original_cost,
+            best_cost=ctx.best_cost,
+            changed=ctx.best_expr != expr,
+            rewrite_seconds=time.perf_counter() - start,
+            alternatives=ctx.alternatives,
+            saturation=ctx.saturation,
+            used_views=ctx.used_views,
+            stage_timings=dict(ctx.timings),
+            cache_hit=False,
+            fingerprint=expr.fingerprint(),
+        )
+
+    # ------------------------------------------------------------------ cloning
+    def with_views(self, views: Sequence[LAView]) -> "PlanSession":
+        """A copy of this session using a different view set.
+
+        Every constructor option is preserved — including ``include_view_voi``
+        and the normalized-matrix declarations that drive Morpheus rule
+        inclusion — so derived sessions cannot silently regress to defaults.
+        """
+        return PlanSession(
+            catalog=self.catalog,
+            views=views,
+            estimator=self.estimator,
+            constraints=self.base_constraints,
+            include_decompositions=self.include_decompositions,
+            include_systemml_rules=self.include_systemml_rules,
+            include_morpheus_rules=self.include_morpheus_rules,
+            include_view_voi=self.include_view_voi,
+            max_rounds=self.max_rounds,
+            max_atoms=self.max_atoms,
+            max_classes=self.max_classes,
+            prune=self.prune,
+            reorder_matmul_chains=self.reorder_matmul_chains,
+            alternatives_limit=self.alternatives_limit,
+            normalized_matrices=self.normalized_matrices,
+            cache_size=self.cache.capacity,
+            enable_cache=self.enable_cache,
+            use_constraint_index=self.engine.use_index,
+            tighten_thresholds=self.tighten_thresholds,
+        )
+
+
+__all__ = ["PlanSession"]

@@ -1,0 +1,245 @@
+"""The staged planner pipeline: Encode → Saturate → Annotate → Extract → PostOpt.
+
+Each stage is a small, stateless object transforming a :class:`PlanContext`;
+the long-lived state (catalog, compiled constraint program, saturation
+engine, rewrite cache) lives on the owning
+:class:`~repro.planner.session.PlanSession` and is only *read* here.  The
+split buys three things over the former monolithic ``rewrite``:
+
+* per-stage wall-clock timings on every
+  :class:`~repro.core.result.RewriteResult` (the paper's RW_find becomes
+  inspectable instead of a single number);
+* reuse — the compiled constraints and engine are built once per session,
+  not once per rewrite;
+* a seam for future work: stages can be swapped (e.g. a sharded saturate or
+  an async annotate) without touching the session API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.chase.saturation import CostThresholdPruner, SaturationResult
+from repro.core.extraction import (
+    enumerate_equivalent_expressions,
+    extract_best_expression,
+)
+from repro.core.matchain import optimize_matmul_chains
+from repro.cost.model import annotate_instance_classes, expression_cost
+from repro.exceptions import RewriteError, UnknownMatrixError
+from repro.lang import matrix_expr as mx
+from repro.lang.visitor import collect_refs
+from repro.vrem.encoder import LAEncoder
+from repro.vrem.instance import VremInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.planner.session import PlanSession
+
+#: Threshold slack and floor shared by the initial bound and tightening
+#: (Example 7.2): keep same-cost alternatives around for tie-breaking and
+#: never prune on toy-sized instances.
+THRESHOLD_SLACK = 1.5
+THRESHOLD_FLOOR = 1024.0
+
+
+@dataclass
+class PlanContext:
+    """Mutable per-rewrite state threaded through the stages."""
+
+    session: "PlanSession"
+    expr: mx.Expr
+    instance: Optional[VremInstance] = None
+    root: Optional[int] = None
+    original_cost: float = float("inf")
+    pruner: Optional[CostThresholdPruner] = None
+    saturation: Optional[SaturationResult] = None
+    infos: Optional[Dict] = None
+    best_expr: Optional[mx.Expr] = None
+    best_cost: float = float("inf")
+    alternatives: List[Tuple[mx.Expr, float]] = field(default_factory=list)
+    used_views: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    # Work salvaged from the saturate stage's last tighten pass: when the
+    # instance did not change afterwards (the usual case — the final round
+    # is the one that finds nothing new), annotate/extract reuse it instead
+    # of recomputing the identical result.
+    tighten_infos: Optional[Dict] = None
+    tighten_best: Optional[mx.Expr] = None
+    tighten_version: Optional[Tuple[int, int]] = None
+
+    def instance_version(self) -> Tuple[int, int]:
+        return (self.instance.version, self.instance.shape_version)
+
+    def cost_or_inf(self, expr: mx.Expr) -> float:
+        try:
+            return expression_cost(expr, self.session.catalog, self.session.estimator)
+        except UnknownMatrixError:
+            return float("inf")
+
+
+class Stage:
+    """Base class: a named transformation of the plan context."""
+
+    name = "stage"
+
+    def run(self, ctx: PlanContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class EncodeStage(Stage):
+    """Cost the original expression and encode it on the VREM schema."""
+
+    name = "encode"
+
+    def run(self, ctx: PlanContext) -> None:
+        session = ctx.session
+        ctx.original_cost = ctx.cost_or_inf(ctx.expr)
+        ctx.instance = VremInstance()
+        encoder = LAEncoder(ctx.instance, session.catalog)
+        ctx.root = encoder.encode(ctx.expr)
+        self._register_normalized_matrices(session, encoder, ctx.expr)
+
+    @staticmethod
+    def _register_normalized_matrices(
+        session: "PlanSession", encoder: LAEncoder, expr: mx.Expr
+    ) -> None:
+        """Add ``factorized`` facts for declared normalized matrices."""
+        if not session.normalized_matrices:
+            return
+        referenced = collect_refs(expr)
+        for matrix_name, (s_name, k_name, r_name) in session.normalized_matrices.items():
+            if matrix_name not in referenced:
+                continue
+            m_cid = encoder.encode(mx.MatrixRef(matrix_name))
+            s_cid = encoder.encode(mx.MatrixRef(s_name))
+            k_cid = encoder.encode(mx.MatrixRef(k_name))
+            r_cid = encoder.encode(mx.MatrixRef(r_name))
+            encoder.instance.add_atom(
+                "factorized", (m_cid, s_cid, k_cid, r_cid), ("normalized-matrix",)
+            )
+
+
+class SaturateStage(Stage):
+    """Chase the encoding with the session's compiled constraint program."""
+
+    name = "saturate"
+
+    def run(self, ctx: PlanContext) -> None:
+        session = ctx.session
+        if session.prune and ctx.original_cost != float("inf"):
+            # The threshold bounds the size of any single new intermediate: an
+            # intermediate larger than the entire original plan's cost can
+            # never appear in a better plan (Example 7.2).
+            ctx.pruner = CostThresholdPruner(
+                max(ctx.original_cost * THRESHOLD_SLACK, THRESHOLD_FLOOR)
+            )
+        tighten = self._tighten_callback(ctx) if (
+            ctx.pruner is not None and session.tighten_thresholds
+        ) else None
+        ctx.saturation = session.engine.saturate(ctx.instance, ctx.pruner, tighten)
+
+    @staticmethod
+    def _tighten_callback(ctx: PlanContext):
+        """Bound for the next rounds: cost of the best rewriting found so far."""
+
+        def bound(instance: VremInstance) -> Optional[float]:
+            session = ctx.session
+            infos = annotate_instance_classes(instance, session.catalog, session.estimator)
+            ctx.tighten_infos = infos
+            ctx.tighten_version = (instance.version, instance.shape_version)
+            ctx.tighten_best = None
+            try:
+                best, cost = extract_best_expression(instance, ctx.root, infos)
+            except RewriteError:
+                return None
+            ctx.tighten_best = best
+            if cost == float("inf"):
+                return None
+            return max(cost * THRESHOLD_SLACK, THRESHOLD_FLOOR)
+
+        return bound
+
+
+class AnnotateStage(Stage):
+    """Per-class (shape, nnz) estimates of the saturated instance."""
+
+    name = "annotate"
+
+    def run(self, ctx: PlanContext) -> None:
+        if ctx.tighten_infos is not None and ctx.tighten_version == ctx.instance_version():
+            ctx.infos = ctx.tighten_infos
+            return
+        ctx.infos = annotate_instance_classes(
+            ctx.instance, ctx.session.catalog, ctx.session.estimator
+        )
+
+
+class ExtractStage(Stage):
+    """Cheapest derivation of the root, plus bounded alternatives."""
+
+    name = "extract"
+
+    def run(self, ctx: PlanContext) -> None:
+        if (
+            ctx.tighten_best is not None
+            and ctx.tighten_version == ctx.instance_version()
+            and ctx.infos is ctx.tighten_infos
+        ):
+            ctx.best_expr = ctx.tighten_best
+        else:
+            try:
+                ctx.best_expr, _ = extract_best_expression(ctx.instance, ctx.root, ctx.infos)
+            except RewriteError:
+                ctx.best_expr = ctx.expr
+        ctx.alternatives = [
+            (alt, ctx.cost_or_inf(alt))
+            for alt, _ in enumerate_equivalent_expressions(
+                ctx.instance, ctx.root, ctx.infos, limit=ctx.session.alternatives_limit
+            )
+        ]
+
+
+class PostOptStage(Stage):
+    """Syntactic post-optimization and final cost accounting."""
+
+    name = "postopt"
+
+    def run(self, ctx: PlanContext) -> None:
+        session = ctx.session
+        best = ctx.best_expr
+        if session.reorder_matmul_chains and session.catalog is not None:
+            best = optimize_matmul_chains(best, session.catalog)
+        best_cost = ctx.cost_or_inf(best)
+        # Never return something we estimate to be worse than the original.
+        if best_cost > ctx.original_cost:
+            best, best_cost = ctx.expr, ctx.original_cost
+        ctx.best_expr, ctx.best_cost = best, best_cost
+        ctx.alternatives.sort(key=lambda pair: pair[1])
+        view_names = {view.name for view in session.views}
+        ctx.used_views = sorted(
+            name for name in collect_refs(best) if name in view_names
+        )
+
+
+#: The canonical stage order of a plan session.
+DEFAULT_STAGES = (
+    EncodeStage(),
+    SaturateStage(),
+    AnnotateStage(),
+    ExtractStage(),
+    PostOptStage(),
+)
+
+__all__ = [
+    "PlanContext",
+    "Stage",
+    "EncodeStage",
+    "SaturateStage",
+    "AnnotateStage",
+    "ExtractStage",
+    "PostOptStage",
+    "DEFAULT_STAGES",
+    "THRESHOLD_SLACK",
+    "THRESHOLD_FLOOR",
+]

@@ -43,6 +43,15 @@ class VremInstance:
         #: Monotonically increasing counter, bumped on every structural change;
         #: used by callers (e.g. the saturation engine) to detect staleness.
         self.version = 0
+        #: Per-relation change counters: bumped when a relation gains an atom
+        #: or one of its atoms is re-canonicalised after a class merge.  The
+        #: indexed saturation engine compares these against the values it saw
+        #: when a constraint was last attempted, so unaffected constraints
+        #: are skipped entirely.
+        self._relation_versions: Dict[str, int] = defaultdict(int)
+        #: Counter for shape-metadata changes (``size`` atoms match against
+        #: metadata, not stored atoms, so they need their own staleness signal).
+        self.shape_version = 0
 
     # ------------------------------------------------------------------ classes
     def new_class(self) -> int:
@@ -80,6 +89,8 @@ class VremInstance:
             )
         if shape_keep is None and shape_drop is not None:
             self._shape[keep] = shape_drop
+            # The surviving class just became shape-matchable.
+            self.shape_version += 1
         value_keep, value_drop = self._scalar_value.get(keep), self._scalar_value.get(drop)
         if value_keep is None and value_drop is not None:
             self._scalar_value[keep] = value_drop
@@ -106,6 +117,8 @@ class VremInstance:
         shape = (int(shape[0]), int(shape[1]))
         if known is not None and known != shape:
             raise ChaseError(f"class {root} already has shape {known}, cannot set {shape}")
+        if known is None:
+            self.shape_version += 1
         self._shape[root] = shape
 
     def shape(self, cid: int) -> Optional[Shape]:
@@ -165,6 +178,7 @@ class VremInstance:
         for position, arg in enumerate(canonical):
             self._by_position[(relation, position, arg)].add(atom)
         self.version += 1
+        self._relation_versions[relation] += 1
         self._apply_congruence(atom)
         self._infer_shapes(atom)
         if self._pending_unions:
@@ -276,6 +290,10 @@ class VremInstance:
     def num_atoms(self) -> int:
         return len(self._atom_provenance)
 
+    def relation_version(self, relation: str) -> int:
+        """Change counter of one relation (see ``_relation_versions``)."""
+        return self._relation_versions[relation]
+
     # ------------------------------------------------------------------ rebuild
     def rebuild(self) -> None:
         """Re-canonicalise all atoms after unions, to a congruence fixpoint."""
@@ -300,6 +318,10 @@ class VremInstance:
                     table.setdefault(root, value)
             for atom, labels in old_atoms.items():
                 canonical = Atom(atom.relation, self._canonical_args(atom.args))
+                if canonical != atom:
+                    # The relation's canonical atom set changed, so premise
+                    # joins over it may produce new matches.
+                    self._relation_versions[atom.relation] += 1
                 existing = self._atom_provenance.get(canonical)
                 if existing is not None:
                     existing |= labels

@@ -1,0 +1,346 @@
+"""Tests of the staged planner: sessions, cache, fingerprints, indexing.
+
+Covers the behaviours the refactor promises:
+
+* cache hit / miss and invalidation on catalog and view-set changes;
+* fingerprint sanity — structurally distinct expressions get distinct keys,
+  structurally equal ones share them, across processes' ``hash`` randomness;
+* constraint-index equivalence — the indexed saturation reaches the same
+  fixpoint (atoms and classes) as the unindexed chase on the seed constraint
+  set, and the session produces the same plans either way;
+* threshold tightening — ``CostThresholdPruner.tighten`` is exercised by the
+  saturation loop and its extra prunes are counted;
+* the ``HadadOptimizer`` façade, including the ``with_views`` option-copy fix.
+"""
+
+import pytest
+
+from repro.chase.program import ConstraintProgram
+from repro.chase.saturation import SaturationEngine
+from repro.constraints import default_constraints
+from repro.constraints.views import LAView
+from repro.core import HadadOptimizer
+from repro.lang import colsums, inv, matrix, rowsums, scalar, sum_all, transpose
+from repro.lang import matrix_expr as mx
+from repro.planner import PlanSession, RewriteCache
+from repro.vrem.encoder import encode_expression
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_equal_expressions_share_fingerprints(self):
+        a = transpose(matrix("M") @ matrix("N"))
+        b = transpose(matrix("M") @ matrix("N"))
+        assert a is not b and a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinct_structures_get_distinct_fingerprints(self):
+        exprs = [
+            matrix("M"),
+            matrix("N"),
+            scalar("M"),                      # same payload, different op
+            transpose(matrix("M")),
+            matrix("M") @ matrix("N"),
+            matrix("N") @ matrix("M"),        # children swapped
+            matrix("M") + matrix("N"),        # same children, different op
+            sum_all(matrix("M")),
+            rowsums(matrix("M")),
+            colsums(matrix("M")),
+            mx.ScalarConst(1.0),
+            mx.ScalarConst(2.0),
+            mx.Identity(4),
+            mx.Identity(5),
+            mx.Zero(4, 5),
+            mx.Zero(5, 4),
+            mx.MatPow(matrix("C"), 2),
+            mx.MatPow(matrix("C"), 3),
+        ]
+        fingerprints = [expr.fingerprint() for expr in exprs]
+        assert len(set(fingerprints)) == len(exprs)
+
+    def test_fingerprint_is_cached_and_stable(self):
+        expr = inv(transpose(matrix("M")) @ matrix("M"))
+        first = expr.fingerprint()
+        assert expr.fingerprint() is first  # cached, not recomputed
+        # Stable across instances (unlike hash(), which is salted per process).
+        assert inv(transpose(matrix("M")) @ matrix("M")).fingerprint() == first
+
+
+# ---------------------------------------------------------------------------
+# Rewrite cache
+# ---------------------------------------------------------------------------
+
+
+class TestRewriteCache:
+    def test_lru_capacity_and_counters(self, small_catalog):
+        cache = RewriteCache(capacity=2)
+        session = PlanSession(small_catalog, enable_cache=False)
+        results = {
+            name: session.rewrite(transpose(matrix(name))) for name in ("M", "N", "A")
+        }
+        cache.put(("M",), results["M"])
+        cache.put(("N",), results["N"])
+        cache.put(("A",), results["A"])  # evicts ("M",)
+        assert cache.get(("M",)) is None
+        assert cache.get(("N",)) is results["N"]
+        assert cache.evictions == 1 and cache.misses == 1 and cache.hits == 1
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_session_cache_hit_on_identical_expression(self, small_catalog):
+        session = PlanSession(small_catalog)
+        expr = transpose(matrix("M") @ matrix("N"))
+        first = session.rewrite(expr)
+        second = session.rewrite(transpose(matrix("M") @ matrix("N")))
+        assert not first.cache_hit and second.cache_hit
+        assert second.best == first.best
+        assert second.best_cost == first.best_cost
+        assert session.cache.hits == 1
+        # Cached timings describe the original planning run.
+        assert second.stage_timings == first.stage_timings
+        assert second.rewrite_seconds < first.rewrite_seconds
+
+    def test_distinct_expressions_miss(self, small_catalog):
+        session = PlanSession(small_catalog)
+        session.rewrite(transpose(matrix("M") @ matrix("N")))
+        result = session.rewrite(transpose(matrix("N") @ matrix("M")))
+        assert not result.cache_hit
+
+    def test_catalog_change_invalidates(self, small_catalog, rng):
+        session = PlanSession(small_catalog)
+        expr = transpose(matrix("M") @ matrix("N"))
+        session.rewrite(expr)
+        small_catalog.register_dense("Fresh", rng.random((4, 4)))
+        result = session.rewrite(expr)
+        assert not result.cache_hit  # version bump changed the key
+
+    def test_view_set_distinguishes_sessions(self, small_catalog):
+        expr = trace_input = inv(matrix("C"))
+        plain = PlanSession(small_catalog)
+        viewed = PlanSession(small_catalog, views=[LAView("Vc", trace_input)])
+        assert plain.cache_key(expr) != viewed.cache_key(expr)
+
+    def test_explicit_invalidate(self, small_catalog):
+        session = PlanSession(small_catalog)
+        expr = transpose(matrix("M") @ matrix("N"))
+        session.rewrite(expr)
+        session.invalidate()
+        assert not session.rewrite(expr).cache_hit
+
+    def test_rewrite_all_dedupes_by_fingerprint(self, small_catalog):
+        session = PlanSession(small_catalog, enable_cache=False)
+        expr = transpose(matrix("M") @ matrix("N"))
+        other = sum_all(matrix("A"))
+        results = session.rewrite_all([expr, other, transpose(matrix("M") @ matrix("N"))])
+        assert len(results) == 3
+        assert not results[0].cache_hit and not results[1].cache_hit
+        assert results[2].cache_hit  # deduplicated, not re-planned
+        assert results[2].best == results[0].best
+
+
+# ---------------------------------------------------------------------------
+# Constraint-index equivalence
+# ---------------------------------------------------------------------------
+
+
+def _saturate_with(constraints, catalog, use_index):
+    instance, root = encode_expression(
+        transpose(transpose(matrix("A")) + matrix("N")), catalog=catalog
+    )
+    engine = SaturationEngine(
+        constraints, max_rounds=4, max_atoms=600, max_classes=300, use_index=use_index
+    )
+    return instance, engine.saturate(instance)
+
+
+def _saturate(expr, catalog, use_index):
+    instance, root = encode_expression(expr, catalog=catalog)
+    engine = SaturationEngine(
+        default_constraints(),
+        max_rounds=4,
+        max_atoms=600,
+        max_classes=300,
+        use_index=use_index,
+    )
+    stats = engine.saturate(instance)
+    return instance, stats
+
+
+class TestConstraintIndex:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: transpose(matrix("M") @ matrix("N")),
+            lambda: sum_all(colsums(transpose(matrix("N")) @ transpose(matrix("M")))),
+            lambda: rowsums(matrix("M") @ matrix("N")),
+            lambda: sum_all(transpose(matrix("A"))),
+        ],
+    )
+    def test_same_fixpoint_as_unindexed(self, small_catalog, builder):
+        indexed, stats_indexed = _saturate(builder(), small_catalog, use_index=True)
+        plain, stats_plain = _saturate(builder(), small_catalog, use_index=False)
+        atoms_indexed = {(a.relation, a.args) for a in indexed.atoms()}
+        atoms_plain = {(a.relation, a.args) for a in plain.atoms()}
+        assert atoms_indexed == atoms_plain
+        assert indexed.num_classes() == plain.num_classes()
+        assert stats_indexed.reached_fixpoint == stats_plain.reached_fixpoint
+        # The index must actually skip dormant constraints to be worth it.
+        assert stats_indexed.constraints_skipped > 0
+        assert stats_plain.constraints_skipped == 0
+
+    def test_program_compilation(self):
+        program = ConstraintProgram(default_constraints())
+        assert len(program) == len(program.compiled)
+        for compiled in program.compiled:
+            assert compiled.trigger_relations or compiled.uses_shapes
+            assert "size" not in compiled.trigger_relations
+        # Conclusion-producer index covers the TGDs.
+        assert any(program.producers_by_relation.values())
+
+    def test_duplicate_constraint_names_are_not_collapsed(self, small_catalog):
+        """The index stamps by position, so same-named constraints both run."""
+        from repro.constraints import tgd
+        from repro.vrem.instance import VremInstance
+
+        duplicates = [
+            tgd("dup", "add_m(M, N, R) -> add_m(N, M, R)"),
+            tgd("dup", "tr(M, R1) & tr(R1, R2) -> add_m(M, R2, R2)"),
+        ]
+        states = {}
+        for use_index in (True, False):
+            instance, _ = _saturate_with(duplicates, small_catalog, use_index)
+            states[use_index] = {(a.relation, a.args) for a in instance.atoms()}
+        assert states[True] == states[False]
+
+    def test_session_plans_match_without_index(self, small_catalog):
+        expr = sum_all(colsums(transpose(matrix("N")) @ transpose(matrix("M"))))
+        fast = PlanSession(small_catalog).rewrite(expr)
+        slow = PlanSession(
+            small_catalog,
+            use_constraint_index=False,
+            tighten_thresholds=False,
+            enable_cache=False,
+        ).rewrite(expr)
+        assert fast.best == slow.best
+        assert fast.best_cost == pytest.approx(slow.best_cost)
+
+
+# ---------------------------------------------------------------------------
+# Threshold tightening
+# ---------------------------------------------------------------------------
+
+
+class TestTightening:
+    def test_tighten_reported_in_saturation_stats(self, small_catalog):
+        # A pipeline with a cheap rewriting (aggregate pushdown): once found,
+        # the threshold drops below the original plan's bound.
+        expr = sum_all(matrix("M") @ matrix("N"))
+        result = PlanSession(small_catalog).rewrite(expr)
+        stats = result.saturation
+        assert stats is not None and stats.final_threshold is not None
+        assert stats.threshold_tightenings >= 1
+        assert stats.final_threshold < max(result.original_cost * 1.5, 1024.0) + 1e-9
+        assert stats.pruned_by_tightening <= stats.pruned_applications
+
+    def test_tightening_keeps_best_plan(self, small_catalog):
+        expr = sum_all(matrix("M") @ matrix("N"))
+        tight = PlanSession(small_catalog).rewrite(expr)
+        loose = PlanSession(small_catalog, tighten_thresholds=False).rewrite(expr)
+        assert tight.best == loose.best
+        assert tight.best_cost == pytest.approx(loose.best_cost)
+
+
+# ---------------------------------------------------------------------------
+# Stage timings and the façade
+# ---------------------------------------------------------------------------
+
+
+class TestSessionAndFacade:
+    def test_stage_timings_recorded(self, small_catalog):
+        result = PlanSession(small_catalog).rewrite(transpose(matrix("M") @ matrix("N")))
+        assert set(result.stage_timings) == {
+            "encode", "saturate", "annotate", "extract", "postopt",
+        }
+        assert all(t >= 0.0 for t in result.stage_timings.values())
+        assert sum(result.stage_timings.values()) <= result.rewrite_seconds + 1e-6
+        assert result.fingerprint == transpose(matrix("M") @ matrix("N")).fingerprint()
+
+    def test_facade_exposes_session(self, small_catalog):
+        optimizer = HadadOptimizer(small_catalog)
+        assert isinstance(optimizer.session, PlanSession)
+        result = optimizer.rewrite(transpose(matrix("M") @ matrix("N")))
+        assert result.changed
+        assert optimizer.catalog is small_catalog
+        assert optimizer.max_rounds == optimizer.session.max_rounds
+
+    def test_with_views_preserves_options(self, small_catalog):
+        optimizer = HadadOptimizer(
+            small_catalog,
+            include_view_voi=False,
+            include_decompositions=True,
+            normalized_matrices={"M": ("M__S", "M__K", "M__R")},
+            max_rounds=3,
+            prune=False,
+            alternatives_limit=2,
+        )
+        derived = optimizer.with_views([LAView("Vd", inv(matrix("C")))])
+        session = derived.session
+        assert session.include_view_voi is False
+        assert session.include_decompositions is True
+        assert session.normalized_matrices == {"M": ("M__S", "M__K", "M__R")}
+        assert session.max_rounds == 3 and session.prune is False
+        assert session.alternatives_limit == 2
+        assert [view.name for view in derived.views] == ["Vd"]
+        # include_view_voi=False means only the V_IO constraint is emitted.
+        assert [c.name for c in session.view_constraints] == ["view-io:Vd"]
+
+    def test_facade_attributes_stay_assignable(self, small_catalog):
+        """Post-construction knob assignment worked on the seed optimizer."""
+        optimizer = HadadOptimizer(small_catalog)
+        expr = transpose(matrix("M") @ matrix("N"))
+        optimizer.rewrite(expr)
+        optimizer.prune = False
+        optimizer.max_rounds = 2
+        optimizer.alternatives_limit = 3
+        assert optimizer.session.prune is False
+        assert optimizer.session.engine.max_rounds == 2
+        assert len(optimizer.session.cache) == 0  # knob changes drop cached plans
+        result = optimizer.rewrite(expr)
+        assert not result.cache_hit and result.saturation.rounds <= 2
+        optimizer.views = [LAView("Vmn", matrix("M") @ matrix("N"))]
+        assert [c.name for c in optimizer.view_constraints] == [
+            "view-io:Vmn", "view-oi:Vmn",
+        ]
+
+    def test_hybrid_factors_rebuilt_after_table_change(self, small_tables):
+        """Replacing a base table must not leave stale Morpheus factors."""
+        import numpy as np
+        from repro.data.table import Table
+        from repro.hybrid.optimizer import HybridOptimizer
+        from repro.hybrid.query import HybridQuery, JoinFeatureMatrix
+        from repro.lang import colsums
+
+        builder = JoinFeatureMatrix(
+            name="J", left_table="Left", right_table="Right",
+            key="id", left_columns=("l1",), right_columns=("r1",),
+        )
+        query = HybridQuery(
+            name="Q", builders=[builder], analysis=colsums(matrix("J"))
+        )
+        optimizer = HybridOptimizer(small_tables)
+        optimizer.rewrite(query)
+        before = small_tables.matrix("J__S").values.copy()
+        ids = np.arange(10, dtype=np.float64)
+        small_tables.register_table(
+            Table("Left", {"id": ids, "l1": ids * 10.0, "l2": ids}), overwrite=True
+        )
+        optimizer.rewrite(query)
+        after = small_tables.matrix("J__S").values
+        assert not np.allclose(before, after)  # factors track the new table
+        # Unchanged catalog afterwards: factors are reused, not re-registered.
+        version = small_tables.version
+        optimizer.rewrite(query)
+        assert small_tables.version == version
