@@ -15,6 +15,12 @@ owns the long-lived state: the constraint set compiled once into an indexed
 program, the saturation engine, and a fingerprint-keyed rewrite cache.
 :class:`HadadOptimizer` is the stable façade over a session.
 
+On top of the planner sits the service layer (:mod:`repro.service`):
+:class:`AnalyticsService` plans concurrently on a
+:class:`~repro.service.PlanSessionPool` and routes finished plans to the
+execution backends through an :class:`~repro.service.ExecutionRouter`,
+answering with per-phase (queue / plan / execute) timings.
+
 Quick start::
 
     from repro import HadadOptimizer, LAView
@@ -22,29 +28,42 @@ Quick start::
     from repro.data.generators import standard_catalog
 
     catalog = standard_catalog(scale=0.01)
-    X, y = matrix("Syn5"), matrix("Syn8")
+    X, y = matrix("Syn5"), matrix("Syn7")
     ols = inv(transpose(X) @ X) @ (transpose(X) @ y)
 
     optimizer = HadadOptimizer(catalog, views=[LAView("V1", inv(X))])
     result = optimizer.rewrite(ols)
     print(result.summary())
 
-See README.md for the architecture overview, the planner pipeline diagram
-and instructions for running the benchmark reproduction of the paper's
-evaluation (the ``benchmarks/`` directory).
+See README.md for the architecture overview, ``docs/architecture.md`` for
+the full layer diagram, ``docs/tutorial.md`` for an end-to-end walkthrough
+and the ``benchmarks/`` directory for the reproduction of the paper's
+evaluation.
 """
 
 from repro.core import HadadOptimizer, LAView, PlanSession, RewriteResult
 from repro.data import Catalog, MatrixData, MatrixMeta, Table
 from repro.cost import MNCEstimator, NaiveMetadataEstimator
+from repro.service import (
+    AnalyticsService,
+    ExecutionRouter,
+    PlanSessionPool,
+    ServiceRequest,
+    ServiceResult,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "HadadOptimizer",
     "LAView",
     "PlanSession",
     "RewriteResult",
+    "AnalyticsService",
+    "ServiceRequest",
+    "ServiceResult",
+    "PlanSessionPool",
+    "ExecutionRouter",
     "Catalog",
     "MatrixData",
     "MatrixMeta",

@@ -16,12 +16,19 @@ equivalent substrates:
 * :class:`~repro.backends.relational.RelationalEngine` — selection,
   projection, hash join and table↔matrix conversion over in-memory column
   tables; the stand-in for SparkSQL in the hybrid experiments.
+
+Every backend shares the ``execute_plan`` entry point declared on
+:class:`~repro.backends.base.Backend`: it takes a finished
+:class:`~repro.core.result.RewriteResult`, binds catalog data and times the
+run, which is how the :class:`repro.service.ExecutionRouter` dispatches
+plans (and falls back across backends on
+:class:`~repro.exceptions.ExecutionError`).
 """
 
 from repro.backends.base import Backend, EvaluationResult
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.systemml_like import SystemMLLikeBackend
-from repro.backends.morpheus import MorpheusBackend, NormalizedMatrix
+from repro.backends.morpheus import MorpheusBackend, NormalizedMatrix, factor_names
 from repro.backends.relational import RelationalEngine
 
 __all__ = [
@@ -31,5 +38,6 @@ __all__ = [
     "SystemMLLikeBackend",
     "MorpheusBackend",
     "NormalizedMatrix",
+    "factor_names",
     "RelationalEngine",
 ]

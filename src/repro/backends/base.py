@@ -1,10 +1,34 @@
-"""Common backend machinery."""
+"""Common backend machinery: the contract every execution substrate implements.
+
+A backend turns a finished LA expression into a value.  The contract has
+three entry points, layered from low to high:
+
+* :meth:`Backend.evaluate` — recursively evaluate one expression (abstract;
+  each substrate provides its own kernels);
+* :meth:`Backend.timed` — evaluate and measure wall-clock time, the quantity
+  the paper reports as Q_exec / RW_exec;
+* :meth:`Backend.execute_plan` — the service-layer entry point: take a whole
+  :class:`~repro.core.result.RewriteResult` from the planner, bind catalog
+  data for its leaves and run the chosen rewriting (or, on request, the
+  original expression).  Backends override it to prepare
+  substrate-specific state first — e.g. the Morpheus backend auto-registers
+  factorized matrices — while the :class:`repro.service.ExecutionRouter`
+  only ever talks to this one method.
+
+Every failure a backend signals must be an
+:class:`~repro.exceptions.ExecutionError`: the router's fallback chain
+catches exactly that type and moves on to the next candidate backend.
+
+The module also hosts the shared value helpers (:func:`to_dense`,
+:func:`values_allclose`) used by the harness and the tests to compare
+original and rewritten executions.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -12,6 +36,9 @@ from scipy import sparse
 from repro.data.catalog import Catalog
 from repro.exceptions import ExecutionError
 from repro.lang import matrix_expr as mx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.result import RewriteResult
 
 Value = Union[np.ndarray, sparse.spmatrix, float]
 
@@ -47,6 +74,23 @@ class Backend:
         start = time.perf_counter()
         value = self.evaluate(expr)
         return EvaluationResult(value=value, seconds=time.perf_counter() - start)
+
+    def execute_plan(
+        self, result: "RewriteResult", use_rewritten: bool = True
+    ) -> EvaluationResult:
+        """Execute a finished plan — the common service-layer entry point.
+
+        Evaluates ``result.best`` (the planner's chosen rewriting) or, with
+        ``use_rewritten=False``, the original expression, resolving leaves
+        from this backend's catalog and timing the run.  Subclasses override
+        this to bind substrate-specific state before evaluation (the
+        Morpheus backend registers factorized matrices here); any failure
+        must surface as :class:`~repro.exceptions.ExecutionError` so the
+        :class:`repro.service.ExecutionRouter` can fall back to another
+        backend.
+        """
+        expr = result.best if use_rewritten else result.original
+        return self.timed(expr)
 
     def leaf_value(self, expr: mx.Expr) -> Value:
         """Resolve the stored value of a leaf node."""

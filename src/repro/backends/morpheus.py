@@ -23,16 +23,32 @@ A named matrix is treated as normalized when the catalog registers a
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
-from repro.backends.base import Value, to_dense
+from repro.backends.base import EvaluationResult, Value, to_dense
 from repro.backends.numpy_backend import NumpyBackend
 from repro.exceptions import ExecutionError
 from repro.lang import matrix_expr as mx
+from repro.lang.visitor import matrix_ref_names
+
+
+def factor_names(name: str) -> Tuple[str, str, str]:
+    """Catalog names under which ``name``'s Morpheus factors are stored.
+
+    The single source of the ``M__S`` / ``M__K`` / ``M__R`` convention:
+    :meth:`repro.hybrid.optimizer.HybridOptimizer.ensure_factor_matrices`
+    registers factors under these names,
+    :meth:`MorpheusBackend.register_catalog_factors` binds them at
+    execution time, and the service router's default policy probes them to
+    decide factorized routing.
+    """
+    return (f"{name}__S", f"{name}__K", f"{name}__R")
 
 
 @dataclass
@@ -98,6 +114,18 @@ class MorpheusBackend(NumpyBackend):
     def __init__(self, catalog):
         super().__init__(catalog)
         self._normalized: Dict[str, NormalizedMatrix] = {}
+        #: For each *auto*-registered normalized matrix (see
+        #: :meth:`register_catalog_factors`), the identities of the three
+        #: factor :class:`~repro.data.matrix.MatrixData` objects the
+        #: snapshot was taken from.  Registrations replace those objects, so
+        #: an identity change means the factors were re-materialized and the
+        #: snapshot must refresh — while unrelated catalog activity leaves
+        #: them untouched and costs nothing.  Manually registered matrices
+        #: are caller-owned and never refreshed.
+        self._auto_registered: Dict[str, Tuple] = {}
+        #: Serializes auto-registration: the service layer drives one shared
+        #: backend instance from many executor threads.
+        self._factors_lock = threading.Lock()
 
     def register(self, normalized: NormalizedMatrix) -> NormalizedMatrix:
         """Declare a catalog matrix name as being stored in factorized form."""
@@ -106,6 +134,73 @@ class MorpheusBackend(NumpyBackend):
 
     def normalized(self, name: str) -> Optional[NormalizedMatrix]:
         return self._normalized.get(name)
+
+    def register_catalog_factors(self, expr: mx.Expr) -> List[str]:
+        """Auto-register normalized matrices whose factors live in the catalog.
+
+        For every matrix reference ``M`` in ``expr`` that is not yet declared
+        normalized, looks for materialized ``M__S`` / ``M__K`` / ``M__R``
+        factors — the naming convention under which
+        :meth:`repro.hybrid.optimizer.HybridOptimizer.ensure_factor_matrices`
+        stores them — and registers the factorized form when all three exist.
+        An auto-registered snapshot is refreshed exactly when its factor
+        matrices were re-materialized (their catalog entries replaced), so
+        a base-table replacement is never served stale while unrelated
+        catalog registrations cause no re-snapshotting; matrices registered
+        manually via :meth:`register` are left untouched.  Returns the
+        names newly (re-)registered.
+        """
+        registered: List[str] = []
+        with self._factors_lock:
+            for name in sorted(matrix_ref_names(expr)):
+                stored = self._auto_registered.get(name)
+                if name in self._normalized and stored is None:
+                    continue
+                names = factor_names(name)
+                if not all(self.catalog.has_matrix_values(f) for f in names):
+                    continue
+                # A concurrent re-materialization can swap factor entries
+                # between the three fetches; re-fetch until two consecutive
+                # reads agree so the snapshot comes from one generation.
+                sources = tuple(self.catalog.matrix(f) for f in names)
+                for _ in range(3):
+                    refetched = tuple(self.catalog.matrix(f) for f in names)
+                    if all(a is b for a, b in zip(sources, refetched)):
+                        break
+                    sources = refetched
+                if stored is not None and all(
+                    a is b for a, b in zip(stored, sources)
+                ):
+                    continue
+                s_data, k_data, r_data = sources
+                self.register(
+                    NormalizedMatrix(
+                        name=name,
+                        entity_part=to_dense(s_data.values),
+                        indicator=sparse.csr_matrix(k_data.values),
+                        attribute_part=to_dense(r_data.values),
+                    )
+                )
+                self._auto_registered[name] = sources
+                registered.append(name)
+        return registered
+
+    def execute_plan(self, result, use_rewritten: bool = True) -> EvaluationResult:
+        """Execute a plan, first binding any catalog-stored factor matrices.
+
+        This makes the backend routable by the service layer without manual
+        :meth:`register` calls: a plan whose leaves have ``__S/__K/__R``
+        factors in the catalog executes factorized automatically.  The
+        returned ``seconds`` include the factor-binding work — it is part
+        of the latency the caller actually paid for this execution.
+        """
+        bind_start = time.perf_counter()
+        self.register_catalog_factors(result.best if use_rewritten else result.original)
+        bind_seconds = time.perf_counter() - bind_start
+        evaluation = super().execute_plan(result, use_rewritten=use_rewritten)
+        return EvaluationResult(
+            value=evaluation.value, seconds=evaluation.seconds + bind_seconds
+        )
 
     # -- helpers ------------------------------------------------------------------
     def _as_normalized(self, expr: mx.Expr) -> Optional[NormalizedMatrix]:

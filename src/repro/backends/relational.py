@@ -28,6 +28,21 @@ class RelationalEngine:
         self._la_backend = NumpyBackend(catalog)
 
     # -- public API ----------------------------------------------------------------
+    def execute_plan(self, result, use_rewritten: bool = True):
+        """Refuse LA plans: this engine executes only the RA side of queries.
+
+        The relational engine participates in the service layer through the
+        hybrid path (builder materialization in
+        :class:`repro.hybrid.executor.HybridExecutor`), not as a target for
+        rewritten LA plans.  Raising :class:`ExecutionError` here lets the
+        :class:`repro.service.ExecutionRouter` fall back to an LA backend
+        when a policy (or an explicit request) names this engine anyway.
+        """
+        raise ExecutionError(
+            "the relational engine executes the RA part of hybrid queries; "
+            "route LA plans to an LA backend (numpy / systemml_like / morpheus)"
+        )
+
     def evaluate(self, expr: rx.RelExpr) -> Table:
         """Evaluate a relational expression to a :class:`Table`."""
         if isinstance(expr, rx.TableRef):

@@ -8,7 +8,8 @@
 * :mod:`repro.benchkit.views_vexp` — the view set V_exp of Table 14;
 * :mod:`repro.benchkit.expected` — the expected rewrites of Tables 12/13/15;
 * :mod:`repro.benchkit.harness` — timing of original vs rewritten pipelines
-  (Q_exec, RW_find, RW_exec) on a chosen backend;
+  (Q_exec, RW_find, RW_exec) on a chosen backend, plus the end-to-end
+  service concurrency sweep (:func:`~repro.benchkit.harness.run_service_sweep`);
 * :mod:`repro.benchkit.hybrid_queries` — the micro-hybrid benchmark queries
   Q1–Q10 of Table 7 / Appendix G over the synthetic Twitter / MIMIC data.
 """
@@ -24,7 +25,13 @@ from repro.benchkit.pipelines import (
 )
 from repro.benchkit.views_vexp import VEXP_VIEWS, build_vexp_views
 from repro.benchkit.expected import EXPECTED_REWRITES, build_expected_rewrite
-from repro.benchkit.harness import PipelineRun, run_pipeline, materialize_views
+from repro.benchkit.harness import (
+    PipelineRun,
+    materialize_views,
+    run_pipeline,
+    run_pipelines,
+    run_service_sweep,
+)
 
 __all__ = [
     "benchmark_catalog",
@@ -42,5 +49,7 @@ __all__ = [
     "build_expected_rewrite",
     "PipelineRun",
     "run_pipeline",
+    "run_pipelines",
+    "run_service_sweep",
     "materialize_views",
 ]

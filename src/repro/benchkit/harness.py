@@ -17,12 +17,22 @@ façade or, preferably, a :class:`~repro.planner.PlanSession` directly.  For
 sweeps over many pipelines (the Fig. 5–12 loops), :func:`run_pipelines`
 plans the whole batch through ``rewrite_all`` so structurally identical
 pipelines are planned once and repeated runs hit the session cache.
+
+Beyond the per-pipeline measurements, :func:`run_service_sweep` benchmarks
+the whole serving path end to end: the pipeline batch goes through
+:meth:`repro.service.AnalyticsService.submit_many` at several worker
+counts, reporting latency/throughput per concurrency level, per-phase
+(queue / plan / execute) means, pool counters, and — against a serial
+``rewrite_all`` reference — whether the concurrent plans are byte-identical
+to the serial ones.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from statistics import fmean
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backends.base import values_allclose
 from repro.backends.numpy_backend import NumpyBackend
@@ -165,6 +175,72 @@ def run_pipelines(
         _execute_run(name, expr, result, backend, check_equivalence, execute)
         for (name, expr), result in zip(pipelines, results)
     ]
+
+
+def run_service_sweep(
+    pipelines: Sequence[Tuple[str, mx.Expr]],
+    service_factory: Callable[[], "object"],
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    execute: bool = False,
+    session_factory: Optional[Callable[[], "object"]] = None,
+) -> dict:
+    """End-to-end service benchmark: a concurrency sweep over one batch.
+
+    For each worker count a *fresh* service (cold pool and caches, so the
+    points are comparable) plans — and with ``execute=True`` also runs —
+    the whole batch through ``submit_many``.  When ``session_factory`` is
+    given (anything whose product has ``rewrite_all``), the batch is also
+    planned serially once and each sweep point records
+    ``byte_identical_to_serial``: whether every concurrent plan's decoded
+    expression string equals the serial one.  Returns a JSON-ready summary.
+    """
+    from repro.service import ServiceRequest
+
+    pipelines = list(pipelines)
+    serial_plans: Optional[List[str]] = None
+    serial_seconds: Optional[float] = None
+    if session_factory is not None:
+        session = session_factory()
+        start = time.perf_counter()
+        serial_results = session.rewrite_all([expr for _, expr in pipelines])
+        serial_seconds = time.perf_counter() - start
+        serial_plans = [result.best.to_string() for result in serial_results]
+
+    sweep: List[dict] = []
+    for workers in worker_counts:
+        service = service_factory()
+        requests = [
+            ServiceRequest(expression=expr, name=name, execute=execute)
+            for name, expr in pipelines
+        ]
+        start = time.perf_counter()
+        results = service.submit_many(requests, workers=workers)
+        seconds = time.perf_counter() - start
+        def mean(values: List[float]) -> float:
+            return fmean(values) if values else 0.0
+
+        point = {
+            "workers": int(workers),
+            "seconds": seconds,
+            "requests_per_sec": len(requests) / seconds if seconds > 0 else float("inf"),
+            "mean_queue_seconds": mean([r.queue_seconds for r in results]),
+            "mean_plan_seconds": mean([r.plan_seconds for r in results]),
+            "mean_execute_seconds": mean([r.execute_seconds for r in results]),
+            "pool": service.pool.stats_dict(),
+        }
+        if serial_plans is not None:
+            point["byte_identical_to_serial"] = (
+                [r.rewrite.best.to_string() for r in results] == serial_plans
+            )
+        sweep.append(point)
+
+    return {
+        "benchmark": "service_concurrency_sweep",
+        "pipelines": [name for name, _ in pipelines],
+        "execute": execute,
+        "serial_seconds": serial_seconds,
+        "sweep": sweep,
+    }
 
 
 def print_report(title: str, runs: Sequence[PipelineRun]) -> str:

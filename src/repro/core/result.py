@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.chase.saturation import SaturationResult
@@ -55,6 +55,30 @@ class RewriteResult:
     stage_timings: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
     fingerprint: Optional[str] = None
+
+    def copy(self, **overrides) -> "RewriteResult":
+        """A copy whose mutable containers are private to the caller.
+
+        Cached and shared results must stay pristine, so every result
+        crossing a cache or pool boundary gets its own lists/dicts
+        (including the saturation stats); expressions are immutable value
+        objects and can be shared freely.  ``overrides`` replace fields on
+        the copy (e.g. ``cache_hit=True`` when serving a memoized plan).
+        """
+        fields = {
+            "alternatives": list(self.alternatives),
+            "used_views": list(self.used_views),
+            "stage_timings": dict(self.stage_timings),
+        }
+        saturation = self.saturation
+        if saturation is not None:
+            saturation = replace(
+                saturation,
+                applications_by_constraint=dict(saturation.applications_by_constraint),
+            )
+        fields["saturation"] = saturation
+        fields.update(overrides)
+        return replace(self, **fields)
 
     @property
     def estimated_speedup(self) -> float:

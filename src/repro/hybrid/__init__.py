@@ -8,11 +8,15 @@ rewritten against LA / hybrid views with the VREM saturation engine, with
 the Morpheus factorization rules bridging the two sides (a join-produced
 matrix is declared *normalized* so that operators over it can be pushed to
 the base tables and matched against hybrid views).
+
+Hybrid queries are served end-to-end by
+:meth:`repro.service.AnalyticsService.submit_hybrid`, which pairs the
+optimizer and executor and folds planning time into the reported latency.
 """
 
 from repro.hybrid.query import HybridQuery, JoinFeatureMatrix, PivotSparseMatrix
 from repro.hybrid.optimizer import HybridOptimizer, HybridRewriteResult
-from repro.hybrid.executor import HybridExecutor
+from repro.hybrid.executor import HybridExecutionResult, HybridExecutor
 
 __all__ = [
     "HybridQuery",
@@ -20,5 +24,6 @@ __all__ = [
     "PivotSparseMatrix",
     "HybridOptimizer",
     "HybridRewriteResult",
+    "HybridExecutionResult",
     "HybridExecutor",
 ]

@@ -1,4 +1,22 @@
-"""Execution of hybrid queries: Q_RA on the relational engine, Q_LA on an LA backend."""
+"""Execution of hybrid queries: Q_RA on the relational engine, Q_LA on an LA backend.
+
+A hybrid query runs in two phases mirroring §9.2.2 of the paper: the
+relational preprocessing Q_RA (joins / selections / pivots producing feature
+matrices, evaluated by :class:`~repro.backends.relational.RelationalEngine`
+and registered in the catalog) and the LA analysis Q_LA over those matrices
+(evaluated by any LA backend, NumPy by default).  The
+:class:`HybridExecutor` times the two phases separately and returns them in
+a :class:`HybridExecutionResult`, optionally together with the optimizer
+time that produced the executed analysis expression — so that end-to-end
+latency reported by the service layer
+(:meth:`repro.service.AnalyticsService.submit_hybrid`) covers plan + RA +
+LA rather than silently dropping the planning cost.
+
+Callers that already materialized the builder matrices (repeated queries
+over a warm catalog) pass ``skip_builders=True`` and pay only the LA phase;
+``analysis_override`` substitutes a rewritten analysis expression while the
+builders still come from the original query.
+"""
 
 from __future__ import annotations
 
@@ -22,15 +40,33 @@ from repro.lang import relational_expr as rx
 
 @dataclass
 class HybridExecutionResult:
-    """Timing breakdown of one hybrid query execution."""
+    """Timing breakdown of one hybrid query execution.
+
+    Timing semantics
+    ----------------
+    * ``plan_seconds``  — optimizer time (the paper's RW_find) spent
+      producing the analysis expression that was executed; 0.0 when the
+      query ran as stated without going through an optimizer.  Filled by
+      the service layer (:meth:`repro.service.AnalyticsService.submit_hybrid`)
+      or by any caller that threads the optimizer's ``rewrite_seconds``
+      through :meth:`HybridExecutor.execute`.
+    * ``ra_seconds``    — the relational preprocessing phase: builder
+      evaluation and matrix materialization (0.0 with ``skip_builders``).
+    * ``la_seconds``    — execution of the LA analysis on the LA backend.
+    * ``total_seconds`` — ``plan + ra + la``: the end-to-end latency a
+      service caller observes for this query.  Before the service layer
+      existed this property silently omitted planning time; it now includes
+      it whenever the caller reports it.
+    """
 
     value: Value
     ra_seconds: float
     la_seconds: float
+    plan_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.ra_seconds + self.la_seconds
+        return self.plan_seconds + self.ra_seconds + self.la_seconds
 
 
 class HybridExecutor:
@@ -81,8 +117,14 @@ class HybridExecutor:
         query: HybridQuery,
         analysis_override: Optional[mx.Expr] = None,
         skip_builders: bool = False,
+        plan_seconds: float = 0.0,
     ) -> HybridExecutionResult:
-        """Run the RA part (unless already materialized) and the LA part."""
+        """Run the RA part (unless already materialized) and the LA part.
+
+        ``plan_seconds`` lets the caller attribute the optimizer time that
+        produced ``analysis_override`` to this execution, so the returned
+        result's ``total_seconds`` reflects true end-to-end latency.
+        """
         ra_start = time.perf_counter()
         if not skip_builders:
             for builder in query.builders:
@@ -93,7 +135,12 @@ class HybridExecutor:
         la_start = time.perf_counter()
         value = self.la_backend.evaluate(expr)
         la_seconds = time.perf_counter() - la_start
-        return HybridExecutionResult(value=value, ra_seconds=ra_seconds, la_seconds=la_seconds)
+        return HybridExecutionResult(
+            value=value,
+            ra_seconds=ra_seconds,
+            la_seconds=la_seconds,
+            plan_seconds=plan_seconds,
+        )
 
 
 def _filter_sparse_values(matrix: sparse.spmatrix, comparator: str, threshold: float):

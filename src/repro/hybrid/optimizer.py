@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro.backends.morpheus import factor_names
 from repro.backends.relational import RelationalEngine
 from repro.constraints.views import LAView
 from repro.core.result import RewriteResult
@@ -137,11 +138,7 @@ class HybridOptimizer:
         for builder in query.builders:
             if not isinstance(builder, JoinFeatureMatrix) or builder.name in factors:
                 continue
-            s_name, k_name, r_name = (
-                f"{builder.name}__S",
-                f"{builder.name}__K",
-                f"{builder.name}__R",
-            )
+            s_name, k_name, r_name = factor_names(builder.name)
             if not force and all(
                 self.catalog.has_matrix_values(name) for name in (s_name, k_name, r_name)
             ):

@@ -35,6 +35,16 @@ def collect_refs(expr: mx.Expr) -> Set[str]:
     return names
 
 
+def matrix_ref_names(expr: mx.Expr) -> Set[str]:
+    """The set of matrix names referenced anywhere in ``expr``.
+
+    Unlike :func:`collect_refs` this excludes scalar references — it is the
+    probe used to decide matrix-level concerns such as factorized
+    (Morpheus) execution of a plan.
+    """
+    return {node.name for node in walk(expr) if isinstance(node, mx.MatrixRef)}
+
+
 def _rebuild(node: mx.Expr, children: Tuple[mx.Expr, ...]) -> mx.Expr:
     """Re-create ``node`` with new children, preserving its payload."""
     if children == node.children:

@@ -16,6 +16,11 @@ same pipeline shapes over and over, so a
 
 Entries are immutable: expressions are value objects and the session hands
 out shallow copies of the result, so sharing across callers is safe.
+
+The cache itself is **not** thread-safe (the LRU reorder and the counters
+race under concurrent access); callers that share one across threads must
+serialize access, as :class:`repro.service.PlanSessionPool` does for its
+pool-level shared result cache.
 """
 
 from __future__ import annotations

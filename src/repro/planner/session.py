@@ -11,12 +11,26 @@ per-rewrite stages of :mod:`repro.planner.stages` over it.
 class; new code (the hybrid optimizer, the benchmark harness, services)
 should talk to the session directly to benefit from caching and batch
 deduplication.
+
+Thread safety
+-------------
+A session is **not** thread-safe: a rewrite mutates the saturation engine's
+working state, the LRU order and counters of the :class:`RewriteCache`, and
+the reconfiguration methods (``set_views`` / ``set_budgets`` / …) swap whole
+components.  One session must therefore be driven by one thread at a time.
+Concurrent callers should check sessions out of a
+:class:`repro.service.PlanSessionPool`, which keeps each session exclusive
+to its holder and adds a lock-guarded, single-flight shared result cache on
+top.  The only state deliberately safe to share across threads is the
+expression-side ``Expr.fingerprint()`` memo (idempotent writes of an
+identical value) and finished :class:`RewriteResult` objects, because every
+result crossing the session boundary is a private copy
+(:meth:`RewriteResult.copy`).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chase.program import ConstraintProgram
@@ -220,20 +234,7 @@ class PlanSession:
         session boundary gets its own lists/dicts (including the saturation
         stats); expressions are immutable value objects and can be shared.
         """
-        saturation = result.saturation
-        if saturation is not None:
-            saturation = replace(
-                saturation,
-                applications_by_constraint=dict(saturation.applications_by_constraint),
-            )
-        return replace(
-            result,
-            alternatives=list(result.alternatives),
-            used_views=list(result.used_views),
-            stage_timings=dict(result.stage_timings),
-            saturation=saturation,
-            **overrides,
-        )
+        return result.copy(**overrides)
 
     def rewrite(self, expr: mx.Expr) -> RewriteResult:
         """Find the minimum-cost equivalent of ``expr`` (cached)."""

@@ -1,0 +1,279 @@
+"""Thread-safe pooling of plan sessions with single-flight shared planning.
+
+A :class:`~repro.planner.session.PlanSession` is deliberately
+single-threaded: a rewrite mutates the saturation engine and the session's
+LRU cache, so N concurrent planners must not share one.  The
+:class:`PlanSessionPool` solves this the way connection pools do:
+
+* **exclusive checkout** — :meth:`acquire` hands each thread a session no
+  other thread holds, building new ones from the pool's factory on demand;
+* **catalog-version generations** — every idle session belongs to the
+  catalog version it was built and validated against, and only the current
+  generation is ever handed out; when the catalog changes (registrations
+  bump :attr:`repro.data.catalog.Catalog.version`), the stale generation is
+  evicted wholesale instead of serving sessions with possibly stale view
+  metadata, and a session checked out across a change is dropped on
+  release;
+* **LRU bounding** — at most ``max_sessions`` idle sessions are retained;
+  beyond that the least-recently-released one is dropped (compiled
+  constraint programs are cheap to rebuild, memory is not free);
+* **single-flight planning** — :meth:`plan` memoizes finished plans in a
+  pool-level, lock-guarded :class:`~repro.planner.cache.RewriteCache` and
+  coordinates concurrent requests for the same cache key so that the plan
+  is computed exactly once: one thread (the leader) plans, every other
+  thread waits on an event and is then served a private copy marked
+  ``cache_hit=True``.
+
+The pool never inspects expression semantics; keys come from
+:meth:`PlanSession.cache_key`, i.e. *(expression fingerprint, view-set key,
+catalog version)*, so a catalog change implicitly invalidates shared plans
+exactly as it does per-session ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.result import RewriteResult
+from repro.lang import matrix_expr as mx
+from repro.planner.cache import CacheKey, RewriteCache
+from repro.planner.session import PlanSession
+
+SessionFactory = Callable[[], PlanSession]
+
+
+@dataclass
+class PoolStats:
+    """Counters describing the pool's behaviour (exposed in benchmarks)."""
+
+    sessions_created: int = 0
+    sessions_evicted: int = 0
+    plans_computed: int = 0
+    shared_hits: int = 0
+    single_flight_waits: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the counters."""
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_evicted": self.sessions_evicted,
+            "plans_computed": self.plans_computed,
+            "shared_hits": self.shared_hits,
+            "single_flight_waits": self.single_flight_waits,
+        }
+
+
+class PlanSessionPool:
+    """A bounded pool of exclusive plan sessions, keyed to the catalog version.
+
+    Parameters
+    ----------
+    session_factory:
+        Zero-argument callable building a fresh, fully configured
+        :class:`PlanSession`.  Every session the pool manages comes from
+        this factory, so all of them plan under identical options (same
+        views, constraints, budgets) and produce identical plans.
+    max_sessions:
+        Upper bound on *idle* sessions retained in the current
+        catalog-version generation (older generations are evicted wholesale
+        on any catalog change, never kept).  Checked-out sessions are never
+        counted or reclaimed; releasing beyond the bound drops the
+        least-recently-released session.
+    result_cache_size:
+        Capacity of the pool-level shared :class:`RewriteCache`.
+    """
+
+    def __init__(
+        self,
+        session_factory: SessionFactory,
+        max_sessions: int = 8,
+        result_cache_size: int = 1024,
+    ):
+        if max_sessions <= 0:
+            raise ValueError("PlanSessionPool max_sessions must be positive")
+        self._factory = session_factory
+        self.max_sessions = int(max_sessions)
+        self._lock = threading.Lock()
+        #: Idle sessions of the current generation, oldest release first
+        #: (the LRU order); ``_idle_version`` is the catalog version the
+        #: whole generation is valid for.
+        self._idle: List[PlanSession] = []
+        self._idle_version: Optional[int] = None
+        #: Catalog version each live session was built against.  A session
+        #: checked out across a catalog change must not be re-tagged as
+        #: fresh on release — its view metadata and constraint program may
+        #: predate the change — so eviction decisions use this tag, not the
+        #: version current at release time.
+        self._built_under: "weakref.WeakKeyDictionary[PlanSession, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._inflight: Dict[CacheKey, threading.Event] = {}
+        self.results = RewriteCache(result_cache_size)
+        self.stats = PoolStats()
+        #: Built eagerly: computes cache keys for :meth:`plan` without a
+        #: checkout (key computation only reads session configuration).
+        self._prototype = self._factory()
+        self.stats.sessions_created += 1
+        self._built_under[self._prototype] = self._catalog_version()
+        self.release(self._prototype)
+
+    # ------------------------------------------------------------------ versioning
+    def _catalog_version(self) -> int:
+        catalog = self._prototype.catalog
+        return catalog.version if catalog is not None else -1
+
+    def _evict_stale_locked(self, current_version: int) -> None:
+        if self._idle_version != current_version:
+            self.stats.sessions_evicted += len(self._idle)
+            self._idle.clear()
+            self._idle_version = current_version
+
+    # ------------------------------------------------------------------ checkout
+    def acquire(self) -> PlanSession:
+        """Check out a session for exclusive use (build one if none is idle).
+
+        An idle generation parked under a stale catalog version is evicted
+        on the way; the returned session always matches the current catalog.
+        """
+        with self._lock:
+            self._evict_stale_locked(self._catalog_version())
+            if self._idle:
+                return self._idle.pop()
+        session, tag = self._build_session()
+        with self._lock:
+            self.stats.sessions_created += 1
+            self._built_under[session] = tag
+        return session
+
+    def _build_session(self):
+        """Build a session and determine the catalog version it reflects.
+
+        Construction itself may bump the catalog (first-time registration
+        of view metadata), and unrelated threads may register matrices
+        concurrently; either way the version moving during construction
+        means the session's derived state cannot be trusted to reflect the
+        final catalog.  Retry until a build completes with the version
+        unchanged; if churn persists past the retry budget, tag the session
+        with the pre-build version so :meth:`release` conservatively drops
+        it after one use instead of pooling possibly-stale state.
+        """
+        for _ in range(3):
+            before = self._catalog_version()
+            session = self._factory()
+            after = self._catalog_version()
+            if after == before:
+                return session, after
+        return session, before
+
+    def release(self, session: PlanSession) -> None:
+        """Return a session to the pool (or drop it when stale / over the bound).
+
+        A session whose build-time catalog version no longer matches the
+        current one is dropped rather than parked: re-tagging it as fresh
+        would hand out a planner whose derived view metadata predates the
+        catalog change.
+        """
+        with self._lock:
+            version = self._catalog_version()
+            self._evict_stale_locked(version)
+            if self._built_under.get(session, version) != version:
+                self.stats.sessions_evicted += 1
+                return
+            self._idle.append(session)
+            while len(self._idle) > self.max_sessions:
+                self._idle.pop(0)
+                self.stats.sessions_evicted += 1
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @contextmanager
+    def checkout(self) -> Iterator[PlanSession]:
+        """``with pool.checkout() as session:`` — acquire/release guard."""
+        session = self.acquire()
+        try:
+            yield session
+        finally:
+            self.release(session)
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, expr: mx.Expr) -> RewriteResult:
+        """Rewrite ``expr``, planning each distinct cache key exactly once.
+
+        Safe to call from any number of threads concurrently.  The first
+        caller for a key plans on a checked-out session and publishes the
+        result in the shared cache; concurrent callers for the same key
+        block until it lands and receive private copies marked
+        ``cache_hit=True`` whose ``rewrite_seconds`` is the (near-zero)
+        lookup time, matching session-level cache-hit semantics — so
+        aggregating RW_find over served requests never double-counts the
+        leader's planning cost.  A leader that fails wakes the waiters, and
+        the next one retries (so deterministic planner errors surface in
+        every caller rather than hanging the queue).
+        """
+        while True:
+            # The clock restarts every attempt: a waiter woken by the leader
+            # must report its own (near-zero) lookup time, not inherit the
+            # leader's planning time through the wait.
+            start = time.perf_counter()
+            # Key computation (expression fingerprint + view-set key) is
+            # read-only on the prototype and safe concurrently; keeping it
+            # outside the lock stops it from serializing every planner.
+            key = self._prototype.cache_key(expr)
+            with self._lock:
+                cached = self.results.get(key)
+                if cached is not None:
+                    self.stats.shared_hits += 1
+                    return cached.copy(
+                        cache_hit=True,
+                        rewrite_seconds=time.perf_counter() - start,
+                    )
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    leader = True
+                else:
+                    self.stats.single_flight_waits += 1
+                    leader = False
+            if not leader:
+                event.wait()
+                continue
+            try:
+                with self.checkout() as session:
+                    result = session.rewrite(expr)
+                with self._lock:
+                    # Publish under the key recomputed *after* planning: if
+                    # the catalog changed mid-plan, the result reflects the
+                    # new generation and must not be served to probes of
+                    # the old one (they will miss and replan instead).
+                    self.results.put(self._prototype.cache_key(expr), result.copy())
+                    self.stats.plans_computed += 1
+                return result
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+
+    def invalidate(self) -> None:
+        """Drop every shared plan (catalog changes do this implicitly)."""
+        with self._lock:
+            self.results.clear()
+
+    def stats_dict(self) -> dict:
+        """JSON-ready snapshot: pool counters plus shared-cache stats."""
+        with self._lock:
+            summary = self.stats.as_dict()
+            summary["idle_sessions"] = len(self._idle)
+            summary["result_cache"] = self.results.stats()
+        return summary
+
+
+__all__ = ["PlanSessionPool", "PoolStats", "SessionFactory"]

@@ -1,0 +1,195 @@
+"""Routing finished plans to execution backends.
+
+HADAD hands its rewritings to an *unchanged* execution platform; in a
+service setting somebody still has to decide which platform.  The
+:class:`ExecutionRouter` owns one instance of every registered backend
+(by default the four substrates of :mod:`repro.backends` — ``numpy``,
+``systemml_like``, ``morpheus`` and ``relational``) and, given a
+:class:`~repro.core.result.RewriteResult`, asks a pluggable
+:class:`RoutingPolicy` for an ordered candidate list, then walks it:
+
+* each candidate's :meth:`~repro.backends.base.Backend.execute_plan` is
+  invoked (binding catalog data and timing the run);
+* a candidate failing with :class:`~repro.exceptions.ExecutionError` is
+  recorded and the router **falls back** to the next one;
+* only when every candidate fails does the router raise.
+
+The default :class:`DefaultPolicy` honours an explicit per-request backend
+first, prefers factorized (Morpheus) execution when the plan touches a
+matrix whose ``__S/__K/__R`` factors are materialized, and otherwise uses
+the as-stated NumPy substrate, keeping the remaining LA backends as
+fallbacks.  The relational engine is never auto-selected for LA plans (it
+refuses them); it participates via the hybrid path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends.base import EvaluationResult
+from repro.backends.morpheus import MorpheusBackend, factor_names
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.relational import RelationalEngine
+from repro.backends.systemml_like import SystemMLLikeBackend
+from repro.core.result import RewriteResult
+from repro.data.catalog import Catalog
+from repro.exceptions import ExecutionError
+from repro.lang.visitor import matrix_ref_names
+
+#: Names under which :meth:`ExecutionRouter.default_backends` registers the
+#: stock substrates.
+DEFAULT_BACKEND_NAMES = ("numpy", "systemml_like", "morpheus", "relational")
+
+
+class RoutingPolicy:
+    """Strategy deciding, per plan, the ordered backends to try."""
+
+    def candidates(
+        self,
+        result: RewriteResult,
+        request=None,
+        backends: Optional[Dict[str, object]] = None,
+    ) -> Sequence[str]:
+        """Ordered backend names; the router falls back along this list."""
+        raise NotImplementedError
+
+
+class StaticPolicy(RoutingPolicy):
+    """A fixed preference order, regardless of plan or request."""
+
+    def __init__(self, order: Sequence[str]):
+        self.order = tuple(order)
+
+    def candidates(self, result, request=None, backends=None) -> Sequence[str]:
+        return list(self.order)
+
+
+class DefaultPolicy(RoutingPolicy):
+    """Request preference, then factorized execution, then ``preferred``.
+
+    Order produced:
+
+    1. the request's explicitly declared backend, if any;
+    2. ``morpheus`` when the plan references a matrix that is registered as
+       normalized (or whose ``__S/__K/__R`` factors are materialized in the
+       catalog) — factorized execution is the whole point of storing those;
+    3. ``preferred`` (the as-stated NumPy substrate by default);
+    4. every other registered LA backend as a fallback.  The relational
+       engine is excluded from automatic fallback because it refuses LA
+       plans; name it explicitly on the request to route to it.
+    """
+
+    def __init__(self, preferred: str = "numpy"):
+        self.preferred = preferred
+
+    @staticmethod
+    def _wants_factorized(result: RewriteResult, morpheus, catalog) -> bool:
+        for name in matrix_ref_names(result.best):
+            if morpheus is not None and morpheus.normalized(name) is not None:
+                return True
+            if catalog is not None and all(
+                catalog.has_matrix_values(f) for f in factor_names(name)
+            ):
+                return True
+        return False
+
+    def candidates(self, result, request=None, backends=None) -> Sequence[str]:
+        backends = backends or {}
+        order: List[str] = []
+
+        def add(name: Optional[str]) -> None:
+            if name and name not in order:
+                order.append(name)
+
+        add(getattr(request, "backend", None))
+        morpheus = backends.get("morpheus")
+        catalog = getattr(morpheus, "catalog", None)
+        if morpheus is not None and self._wants_factorized(result, morpheus, catalog):
+            add("morpheus")
+        add(self.preferred)
+        for name in backends:
+            if name != "relational":
+                add(name)
+        return order
+
+
+@dataclass
+class RoutedExecution:
+    """Outcome of routing one plan: who ran it, the value, who failed first."""
+
+    backend: str
+    evaluation: EvaluationResult
+    #: ``(backend name, error message)`` for every candidate tried and
+    #: skipped before one succeeded.
+    failures: List[tuple] = field(default_factory=list)
+
+
+class ExecutionRouter:
+    """Dispatches finished plans to backends along a policy's fallback chain."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        backends: Optional[Dict[str, object]] = None,
+        policy: Optional[RoutingPolicy] = None,
+    ):
+        self.catalog = catalog
+        self.backends: Dict[str, object] = (
+            dict(backends) if backends is not None else self.default_backends(catalog)
+        )
+        self.policy = policy if policy is not None else DefaultPolicy()
+
+    @staticmethod
+    def default_backends(catalog: Catalog) -> Dict[str, object]:
+        """One instance of each stock substrate, keyed by its public name."""
+        return {
+            "numpy": NumpyBackend(catalog),
+            "systemml_like": SystemMLLikeBackend(catalog),
+            "morpheus": MorpheusBackend(catalog),
+            "relational": RelationalEngine(catalog),
+        }
+
+    def register(self, name: str, backend) -> None:
+        """Add (or replace) a backend under ``name``."""
+        self.backends[name] = backend
+
+    def execute(
+        self,
+        result: RewriteResult,
+        request=None,
+        use_rewritten: bool = True,
+    ) -> RoutedExecution:
+        """Run ``result`` on the first candidate backend that can execute it.
+
+        Candidates come from the policy; each failure with
+        :class:`ExecutionError` (including unregistered names) is recorded
+        and the next candidate is tried.  Raises :class:`ExecutionError`
+        with the full failure log when no candidate succeeds.
+        """
+        candidates = list(self.policy.candidates(result, request, self.backends))
+        failures: List[tuple] = []
+        for name in candidates:
+            backend = self.backends.get(name)
+            if backend is None:
+                failures.append((name, "backend not registered"))
+                continue
+            try:
+                evaluation = backend.execute_plan(result, use_rewritten=use_rewritten)
+            except ExecutionError as exc:
+                failures.append((name, str(exc)))
+                continue
+            return RoutedExecution(backend=name, evaluation=evaluation, failures=failures)
+        raise ExecutionError(
+            f"no backend could execute the plan (tried {candidates!r}): {failures!r}"
+        )
+
+
+__all__ = [
+    "DEFAULT_BACKEND_NAMES",
+    "DefaultPolicy",
+    "ExecutionRouter",
+    "RoutedExecution",
+    "RoutingPolicy",
+    "StaticPolicy",
+]

@@ -1,0 +1,384 @@
+"""Tests of the service layer: session pool, execution router, front door.
+
+Covers the behaviours the service layer promises:
+
+* single-flight concurrent planning — same-fingerprint requests from many
+  threads compute the plan exactly once, everyone else gets a cache hit;
+* pool hygiene — session reuse, LRU bounding, and eviction of idle sessions
+  when the catalog version changes;
+* router fallback — a backend raising :class:`ExecutionError` is recorded
+  and the next candidate runs the plan; policies order candidates;
+* the analytics front door — ``submit_many`` plans are byte-identical to a
+  serial ``rewrite_all``, values match direct backend evaluation, per-phase
+  timings add up, and hybrid queries report planning time in their total.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends.base import Backend, values_allclose
+from repro.backends.numpy_backend import NumpyBackend
+from repro.exceptions import ExecutionError
+from repro.lang import colsums, inv, matrix, sum_all, transpose
+from repro.planner import PlanSession
+from repro.service import (
+    AnalyticsService,
+    DefaultPolicy,
+    ExecutionRouter,
+    PlanSessionPool,
+    ServiceRequest,
+    StaticPolicy,
+)
+
+
+def _factory(catalog, **options):
+    return lambda: PlanSession(catalog, **options)
+
+
+def _mn():
+    return transpose(matrix("M") @ matrix("N"))
+
+
+# ---------------------------------------------------------------------------
+# PlanSessionPool
+# ---------------------------------------------------------------------------
+
+
+class TestPlanSessionPool:
+    def test_checkout_reuses_sessions(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=4)
+        with pool.checkout() as first:
+            pass
+        with pool.checkout() as second:
+            assert second is first
+        assert pool.stats.sessions_created == 1
+
+    def test_concurrent_checkouts_are_exclusive(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=4)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert a is not b
+        pool.release(a)
+        pool.release(b)
+        assert pool.stats.sessions_created == 2
+        assert pool.idle_count == 2
+
+    def test_lru_bound_on_idle_sessions(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=2)
+        sessions = [pool.acquire() for _ in range(3)]
+        for session in sessions:
+            pool.release(session)
+        assert pool.idle_count == 2
+        assert pool.stats.sessions_evicted >= 1
+
+    def test_eviction_on_catalog_version_change(self, small_catalog, rng):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=4)
+        with pool.checkout() as warm:
+            pass
+        evicted_before = pool.stats.sessions_evicted
+        small_catalog.register_dense("Fresh", rng.random((4, 4)))
+        with pool.checkout() as fresh:
+            assert fresh is not warm
+        assert pool.stats.sessions_evicted > evicted_before
+
+    def test_session_checked_out_across_catalog_change_is_dropped(
+        self, small_catalog, rng
+    ):
+        """A catalog change mid-checkout must not re-tag the session as fresh."""
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=4)
+        stale = pool.acquire()
+        small_catalog.register_dense("MidFlight", rng.random((4, 4)))
+        pool.release(stale)
+        assert pool.idle_count == 0
+        assert pool.stats.sessions_evicted >= 1
+        with pool.checkout() as fresh:
+            assert fresh is not stale
+
+    def test_single_flight_plans_exactly_once(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=4)
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = pool.plan(_mn())
+            except Exception as exc:  # pragma: no cover - surfaced by assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert pool.stats.plans_computed == 1
+        assert pool.stats.shared_hits == n_threads - 1
+        assert len({r.best.to_string() for r in results}) == 1
+        assert sum(r.cache_hit for r in results) == n_threads - 1
+        # Waiters woken by the leader report their own lookup time, never
+        # the leader's planning time, so aggregate RW_find stays honest.
+        leader = next(r for r in results if not r.cache_hit)
+        for waiter in (r for r in results if r.cache_hit):
+            assert waiter.rewrite_seconds <= leader.rewrite_seconds
+
+    def test_plan_matches_direct_session(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=2)
+        direct = PlanSession(small_catalog).rewrite(sum_all(matrix("M") @ matrix("N")))
+        pooled = pool.plan(sum_all(matrix("M") @ matrix("N")))
+        assert pooled.best == direct.best
+        assert pooled.best_cost == pytest.approx(direct.best_cost)
+
+    def test_shared_results_are_private_copies(self, small_catalog):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=2)
+        first = pool.plan(_mn())
+        first.used_views.append("corrupted")
+        first.stage_timings["corrupted"] = 1.0
+        second = pool.plan(_mn())
+        assert second.cache_hit
+        assert "corrupted" not in second.used_views
+        assert "corrupted" not in second.stage_timings
+        # Shared hits report lookup time, not the leader's planning time, so
+        # aggregating RW_find over served requests never double-counts.
+        assert second.rewrite_seconds < first.rewrite_seconds
+
+    def test_catalog_change_invalidates_shared_plans(self, small_catalog, rng):
+        pool = PlanSessionPool(_factory(small_catalog), max_sessions=2)
+        pool.plan(_mn())
+        small_catalog.register_dense("Fresh2", rng.random((4, 4)))
+        result = pool.plan(_mn())
+        assert not result.cache_hit
+        assert pool.stats.plans_computed == 2
+
+
+# ---------------------------------------------------------------------------
+# ExecutionRouter
+# ---------------------------------------------------------------------------
+
+
+class _FailingBackend(Backend):
+    name = "failing"
+
+    def evaluate(self, expr):
+        raise ExecutionError("boom")
+
+
+class TestExecutionRouter:
+    def test_fallback_on_execution_error(self, small_catalog):
+        router = ExecutionRouter(small_catalog)
+        router.register("failing", _FailingBackend(small_catalog))
+        router.policy = StaticPolicy(("failing", "numpy"))
+        plan = PlanSession(small_catalog).rewrite(sum_all(matrix("M") @ matrix("N")))
+        routed = router.execute(plan)
+        assert routed.backend == "numpy"
+        assert routed.failures == [("failing", "boom")]
+        expected = NumpyBackend(small_catalog).evaluate(plan.best)
+        assert values_allclose(routed.evaluation.value, expected)
+
+    def test_raises_when_every_candidate_fails(self, small_catalog):
+        router = ExecutionRouter(small_catalog)
+        router.register("failing", _FailingBackend(small_catalog))
+        router.policy = StaticPolicy(("failing", "missing"))
+        plan = PlanSession(small_catalog).rewrite(_mn())
+        with pytest.raises(ExecutionError, match="no backend"):
+            router.execute(plan)
+
+    def test_relational_engine_refuses_la_plans(self, small_catalog):
+        router = ExecutionRouter(small_catalog)
+        router.policy = StaticPolicy(("relational", "numpy"))
+        plan = PlanSession(small_catalog).rewrite(_mn())
+        routed = router.execute(plan)
+        assert routed.backend == "numpy"
+        assert routed.failures and routed.failures[0][0] == "relational"
+
+    def test_default_policy_prefers_request_backend(self, small_catalog):
+        router = ExecutionRouter(small_catalog)
+        plan = PlanSession(small_catalog).rewrite(_mn())
+        request = ServiceRequest(expression=plan.original, backend="systemml_like")
+        routed = router.execute(plan, request=request)
+        assert routed.backend == "systemml_like"
+
+    def test_default_policy_routes_factorized_plans_to_morpheus(self, small_catalog, rng):
+        n_s, n_r, d_s, d_r = 20, 5, 3, 2
+        entity = rng.random((n_s, d_s))
+        attribute = rng.random((n_r, d_r))
+        keys = rng.integers(0, n_r, size=n_s)
+        indicator = np.zeros((n_s, n_r))
+        indicator[np.arange(n_s), keys] = 1.0
+        small_catalog.register_dense("J__S", entity)
+        small_catalog.register_dense("J__K", indicator)
+        small_catalog.register_dense("J__R", attribute)
+        joined = np.hstack([entity, indicator @ attribute])
+        small_catalog.register_dense("J", joined)
+
+        router = ExecutionRouter(small_catalog)
+        assert isinstance(router.policy, DefaultPolicy)
+        plan = PlanSession(small_catalog).rewrite(colsums(matrix("J")))
+        routed = router.execute(plan)
+        assert routed.backend == "morpheus"
+        expected = NumpyBackend(small_catalog).evaluate(plan.best)
+        assert values_allclose(routed.evaluation.value, expected)
+
+        # Re-materialized factors must not be served from a stale snapshot:
+        # the auto-registered normalized matrix refreshes on catalog change.
+        small_catalog.register_dense("J__R", attribute * 2.0, overwrite=True)
+        small_catalog.register_dense("J", np.hstack([entity, indicator @ (attribute * 2.0)]), overwrite=True)
+        replanned = PlanSession(small_catalog).rewrite(colsums(matrix("J")))
+        rerouted = router.execute(replanned)
+        assert rerouted.backend == "morpheus"
+        assert values_allclose(
+            rerouted.evaluation.value,
+            NumpyBackend(small_catalog).evaluate(replanned.best),
+        )
+
+
+# ---------------------------------------------------------------------------
+# AnalyticsService
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyticsService:
+    def test_submit_plans_and_executes(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        result = service.submit(sum_all(matrix("M") @ matrix("N")))
+        assert result.backend == "numpy"
+        assert result.rewrite.changed
+        expected = NumpyBackend(small_catalog).evaluate(result.rewrite.best)
+        assert values_allclose(result.value, expected)
+        assert result.total_seconds == pytest.approx(
+            result.queue_seconds + result.plan_seconds + result.execute_seconds
+        )
+        assert result.plan_seconds > 0.0 and result.execute_seconds > 0.0
+
+    def test_submit_plan_only(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        result = service.submit(ServiceRequest(expression=_mn(), execute=False))
+        assert result.value is None and result.backend is None
+        assert result.execute_seconds == 0.0
+
+    def test_submit_many_matches_serial_rewrite_all(self, small_catalog):
+        expressions = [
+            _mn(),
+            sum_all(matrix("M") @ matrix("N")),
+            inv(matrix("C")) @ inv(matrix("D")),
+            _mn(),  # duplicate fingerprint
+            transpose(matrix("A")) + transpose(matrix("B")),
+            sum_all(matrix("M") @ matrix("N")),  # duplicate fingerprint
+        ]
+        service = AnalyticsService(small_catalog, max_sessions=4)
+        results = service.submit_many(
+            [ServiceRequest(expression=e, execute=False) for e in expressions],
+            workers=4,
+        )
+        serial = PlanSession(small_catalog).rewrite_all(expressions)
+        assert [r.rewrite.best.to_string() for r in results] == [
+            s.best.to_string() for s in serial
+        ]
+        assert [r.rewrite.best_cost for r in results] == pytest.approx(
+            [s.best_cost for s in serial]
+        )
+        # Deduped before fan-out: 4 distinct fingerprints planned, not 6.
+        assert service.pool.stats.plans_computed == 4
+        assert [r.rewrite.cache_hit for r in results] == [
+            False, False, False, True, False, True,
+        ]
+        # Duplicates zero RW_find (no double-count) but share the group's
+        # queue time — they waited exactly as long as their leader.
+        assert all(r.rewrite.rewrite_seconds == 0.0 for r in results if r.rewrite.cache_hit)
+        assert results[3].queue_seconds == results[0].queue_seconds
+
+    def test_submit_many_executes_in_input_order(self, small_catalog):
+        expressions = [_mn(), sum_all(matrix("A")), _mn()]
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        results = service.submit_many(expressions, workers=3)
+        backend = NumpyBackend(small_catalog)
+        for expr, result in zip(expressions, results):
+            assert result.request.expression == expr
+            assert values_allclose(result.value, backend.evaluate(expr), rtol=1e-4, atol=1e-5)
+
+    def test_submit_many_empty_batch(self, small_catalog):
+        service = AnalyticsService(small_catalog)
+        assert service.submit_many([]) == []
+
+    def test_submit_many_isolates_execution_failures(self, small_catalog):
+        """One unexecutable request must not discard the rest of the batch."""
+        from repro.data.matrix import MatrixMeta
+
+        small_catalog.register_metadata(MatrixMeta("GhostM", 5, 5, 25))
+        batch = [_mn(), sum_all(matrix("GhostM")), sum_all(matrix("A"))]
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        results = service.submit_many(batch, workers=2)
+        assert len(results) == 3
+        assert results[0].value is not None and results[2].value is not None
+        assert results[1].value is None and results[1].backend is None
+        assert results[1].failures and results[1].failures[-1][0] == "router"
+        # Direct submit keeps raising for the same request.
+        with pytest.raises(ExecutionError):
+            service.submit(sum_all(matrix("GhostM")))
+
+    def test_request_coercion(self, small_catalog):
+        service = AnalyticsService(small_catalog)
+        named = service.as_request(("p1", _mn()))
+        assert named.name == "p1" and named.execute
+        with pytest.raises(TypeError):
+            service.as_request(42)
+
+    def test_submit_hybrid_total_includes_planning(self, small_tables):
+        from repro.hybrid.query import HybridQuery, JoinFeatureMatrix
+
+        builder = JoinFeatureMatrix(
+            name="J", left_table="Left", right_table="Right",
+            key="id", left_columns=("l1",), right_columns=("r1",),
+        )
+        query = HybridQuery(name="Q", builders=[builder], analysis=colsums(matrix("J")))
+        service = AnalyticsService(small_tables)
+        result = service.submit_hybrid(query)
+        hybrid = result.hybrid
+        assert hybrid is not None
+        assert hybrid.plan_seconds > 0.0
+        assert hybrid.total_seconds == pytest.approx(
+            hybrid.plan_seconds + hybrid.ra_seconds + hybrid.la_seconds
+        )
+        # One consistent planning time on both views of the same request.
+        assert result.plan_seconds == hybrid.plan_seconds
+        assert result.value is not None
+
+    def test_repeated_hybrid_queries_keep_la_caches_warm(self, small_tables):
+        """Re-running a hybrid query must not bump the catalog version,
+        which would evict every pooled LA session and shared plan."""
+        from repro.hybrid.query import HybridQuery, JoinFeatureMatrix
+
+        builder = JoinFeatureMatrix(
+            name="J3", left_table="Left", right_table="Right",
+            key="id", left_columns=("l1",), right_columns=("r2",),
+        )
+        query = HybridQuery(name="Q3", builders=[builder], analysis=sum_all(matrix("J3")))
+        service = AnalyticsService(small_tables)
+        first = service.submit_hybrid(query)
+        settled = small_tables.version
+        warm = service.submit(colsums(matrix("J3")))
+        second = service.submit_hybrid(query)
+        assert small_tables.version == settled
+        assert second.hybrid.ra_seconds == 0.0  # builders skipped
+        hit = service.submit(colsums(matrix("J3")))
+        assert hit.rewrite.cache_hit  # LA cache survived the hybrid request
+        assert values_allclose(first.value, second.value)
+
+    def test_hybrid_executor_defaults_report_no_plan_time(self, small_tables):
+        """Without an optimizer in the loop, total_seconds is ra + la as before."""
+        from repro.hybrid.executor import HybridExecutor
+        from repro.hybrid.query import HybridQuery, JoinFeatureMatrix
+
+        builder = JoinFeatureMatrix(
+            name="J2", left_table="Left", right_table="Right",
+            key="id", left_columns=("l2",), right_columns=("r2",),
+        )
+        query = HybridQuery(name="Q2", builders=[builder], analysis=sum_all(matrix("J2")))
+        result = HybridExecutor(small_tables).execute(query)
+        assert result.plan_seconds == 0.0
+        assert result.total_seconds == pytest.approx(result.ra_seconds + result.la_seconds)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Docs checker: execute fenced code blocks and validate relative links.
+
+Run from anywhere (``python tools/check_docs.py``); the repository root is
+derived from this file's location and ``src/`` is put on ``sys.path``.
+
+Two checks, both over ``README.md`` and every ``docs/*.md``:
+
+* **code blocks** — every fenced block whose info string is ``python`` is
+  executed; blocks within one file share a namespace, so a tutorial can
+  build state across blocks.  Mark a block ``python no-run`` to exclude it
+  (API sketches, signatures).  Non-python fences (``text``, ``bash``, …)
+  are never executed.
+* **links** — every relative markdown link target must exist on disk,
+  resolved against the file containing the link (anchors and external
+  ``http(s)``/``mailto`` links are skipped).
+
+Exit status is non-zero when any block raises or any link dangles, which is
+what the CI docs job gates on.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+FENCE_OPEN = re.compile(r"^```([A-Za-z][\w+-]*)?[ \t]*([^\n]*)$")
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_code_blocks(text: str) -> Iterator[Tuple[str, str, str, int]]:
+    """Yield ``(language, attributes, code, first_line_number)`` per fence."""
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = FENCE_OPEN.match(lines[index])
+        if match is None:
+            index += 1
+            continue
+        language = (match.group(1) or "").lower()
+        attributes = (match.group(2) or "").strip().lower()
+        start = index + 1
+        end = start
+        while end < len(lines) and lines[end].rstrip() != "```":
+            end += 1
+        yield language, attributes, "\n".join(lines[start:end]), start + 1
+        index = end + 1
+
+
+def run_code_blocks(path: Path) -> Tuple[List[str], int]:
+    """Execute the file's runnable python blocks in one shared namespace.
+
+    Returns ``(errors, runnable_block_count)`` from a single parse.
+    """
+    errors: List[str] = []
+    count = 0
+    namespace: dict = {"__name__": f"docs_{path.stem}"}
+    for language, attributes, code, lineno in iter_code_blocks(path.read_text()):
+        if language != "python" or "no-run" in attributes:
+            continue
+        count += 1
+        try:
+            exec(compile(code, f"{path}:{lineno}", "exec"), namespace)
+        except Exception:
+            trace = traceback.format_exc(limit=3)
+            errors.append(f"{path}:{lineno}: code block failed\n{trace}")
+    return errors, count
+
+
+def check_links(path: Path) -> List[str]:
+    """Verify every relative link target in the file exists on disk."""
+    errors: List[str] = []
+    text = path.read_text()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        filepart = target.split("#", 1)[0]
+        if not filepart:
+            continue
+        resolved = (path.parent / filepart).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: dangling link {target!r} -> {resolved}")
+    return errors
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print(f"FAIL: missing documentation files: {missing}")
+        return 1
+    failures: List[str] = []
+    for path in files:
+        block_errors, blocks = run_code_blocks(path)
+        link_errors = check_links(path)
+        failures.extend(block_errors + link_errors)
+        status = "FAIL" if (block_errors or link_errors) else "ok"
+        print(f"[{status}] {path.relative_to(ROOT)}: {blocks} runnable block(s)")
+    if failures:
+        print("\n" + "\n".join(failures))
+        return 1
+    print(f"\nAll documentation checks passed ({len(files)} files).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
