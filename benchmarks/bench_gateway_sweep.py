@@ -1,0 +1,113 @@
+"""Gateway load sweep: concurrency × batch-window grid over the serving path.
+
+Drives the asyncio gateway (:mod:`repro.server`) with N concurrent clients
+per grid point via :func:`repro.benchkit.harness.run_gateway_sweep`.  Each
+point gets a fresh gateway over a fresh service (cold pool, cold caches);
+clients connect simultaneously and fire their requests back to back, so the
+first wave measures true admission concurrency.
+
+The acceptance point drives **220 concurrent clients** — the serving-layer
+criterion: the gateway must sustain >= 200 concurrent in-flight requests
+with micro-batched planning (batch size > 1 observed in the metrics) while
+answering plans byte-identical to a serial ``rewrite_all``.
+
+Run under pytest (``python -m pytest benchmarks/bench_gateway_sweep.py``)
+for the assertions, or directly
+(``python benchmarks/bench_gateway_sweep.py``) to emit the JSON summary the
+perf-regression gate (``tools/check_perf.py``) tracks.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+from repro.benchkit.harness import run_gateway_sweep
+from repro.benchkit.pipelines import build_pipeline, default_roles
+from repro.planner import PlanSession
+from repro.service import AnalyticsService
+
+#: Structurally distinct pipelines, small enough that cold-planning them
+#: keeps a grid point fast (the same sample bench_rewrite_cache sweeps).
+SAMPLE = ["P1.1", "P1.4", "P1.13", "P1.15", "P2.10", "P2.25"]
+
+#: The grid: windows in seconds × client counts.  The 220-client point is
+#: the acceptance point (>= 200 concurrent in-flight requests).
+BATCH_WINDOWS = (0.002, 0.01)
+CONCURRENCY_LEVELS = (16, 64)
+ACCEPTANCE_CONCURRENCY = 220
+
+
+def _pipelines(names=SAMPLE):
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    return [(name, build_pipeline(name, roles)) for name in names]
+
+
+def measure(scale: float = 0.01) -> dict:
+    """Run the grid plus the acceptance point; return the JSON summary."""
+    catalog = benchmark_catalog(scale=scale)
+    pipelines = _pipelines()
+
+    def service_factory():
+        return AnalyticsService(catalog, max_sessions=8)
+
+    summary = run_gateway_sweep(
+        pipelines,
+        service_factory=service_factory,
+        concurrency_levels=CONCURRENCY_LEVELS,
+        batch_windows=BATCH_WINDOWS,
+        requests_per_client=3,
+        session_factory=lambda: PlanSession(catalog),
+    )
+    acceptance = run_gateway_sweep(
+        pipelines,
+        service_factory=service_factory,
+        concurrency_levels=(ACCEPTANCE_CONCURRENCY,),
+        batch_windows=(0.01,),
+        requests_per_client=2,
+        session_factory=lambda: PlanSession(catalog),
+    )
+    summary["scale"] = scale
+    summary["acceptance"] = acceptance["points"][0]
+    return summary
+
+
+def test_gateway_sustains_200_inflight(catalog):
+    """Acceptance: >= 200 concurrent in-flight, micro-batching observed,
+    plans byte-identical to serial, nothing rejected at this bound."""
+    summary = run_gateway_sweep(
+        _pipelines(),
+        service_factory=lambda: AnalyticsService(catalog, max_sessions=8),
+        concurrency_levels=(ACCEPTANCE_CONCURRENCY,),
+        batch_windows=(0.01,),
+        requests_per_client=2,
+        session_factory=lambda: PlanSession(catalog),
+    )
+    point = summary["points"][0]
+    assert point["peak_in_flight"] >= 200, point
+    assert point["max_batch_size"] > 1, point
+    assert point["byte_identical_to_serial"], point.get("mismatched")
+    assert point["no_rejections"]
+    assert point["requests_answered"] == point["requests_sent"]
+
+
+def test_admission_control_rejects_over_limit(catalog):
+    """With a tiny in-flight bound, the overflow is 429-rejected while every
+    admitted request still completes with a correct plan."""
+    summary = run_gateway_sweep(
+        _pipelines(),
+        service_factory=lambda: AnalyticsService(catalog, max_sessions=4),
+        concurrency_levels=(48,),
+        batch_windows=(0.05,),
+        requests_per_client=1,
+        max_in_flight=8,
+        session_factory=lambda: PlanSession(catalog),
+    )
+    point = summary["points"][0]
+    assert point["rejected_429"] > 0
+    assert point["requests_answered"] + point["rejected_429"] == point["requests_sent"]
+    assert point["byte_identical_to_serial"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

@@ -24,7 +24,9 @@ the whole serving path end to end: the pipeline batch goes through
 counts, reporting latency/throughput per concurrency level, per-phase
 (queue / plan / execute) means, pool counters, and — against a serial
 ``rewrite_all`` reference — whether the concurrent plans are byte-identical
-to the serial ones.
+to the serial ones.  :func:`run_gateway_sweep` goes one layer further out
+and load-tests the network gateway (:mod:`repro.server`) with N concurrent
+asyncio clients over a (batch window × concurrency) grid.
 """
 
 from __future__ import annotations
@@ -240,6 +242,142 @@ def run_service_sweep(
         "execute": execute,
         "serial_seconds": serial_seconds,
         "sweep": sweep,
+    }
+
+
+def run_gateway_sweep(
+    pipelines: Sequence[Tuple[str, mx.Expr]],
+    service_factory: Callable[[], "object"],
+    concurrency_levels: Sequence[int] = (8, 64, 200),
+    batch_windows: Sequence[float] = (0.01,),
+    requests_per_client: int = 2,
+    execute: bool = False,
+    max_in_flight: Optional[int] = None,
+    session_factory: Optional[Callable[[], "object"]] = None,
+    host: str = "127.0.0.1",
+) -> dict:
+    """Load-sweep the asyncio gateway: N concurrent clients per grid point.
+
+    For every ``(batch_window, concurrency)`` pair a *fresh* gateway over a
+    fresh service (cold pool and caches) is started on an ephemeral port.
+    ``concurrency`` client connections open simultaneously; each sends its
+    ``requests_per_client`` requests back to back (round-robin over the
+    pipeline batch), so the first wave puts the full client count in flight
+    at once — the point records the peak in-flight gauge, micro-batch
+    shape, rejections and throughput.  With a ``session_factory`` the same
+    batch is also planned serially once and every point records whether the
+    gateway's plans were byte-identical to the serial reference.
+
+    Everything here is stdlib asyncio; the function itself is synchronous
+    (it owns its event loop via ``asyncio.run``) so benchmarks and CI call
+    it like any other harness entry point.
+    """
+    import asyncio
+
+    from repro.server import AnalyticsGateway, GatewayClient, GatewayError
+
+    pipelines = list(pipelines)
+    serial_plans: Optional[Dict[str, str]] = None
+    if session_factory is not None:
+        session = session_factory()
+        serial_results = session.rewrite_all([expr for _, expr in pipelines])
+        serial_plans = {
+            name: result.best.to_string()
+            for (name, _), result in zip(pipelines, serial_results)
+        }
+
+    async def run_point(window: float, concurrency: int) -> dict:
+        service = service_factory()
+        gateway = AnalyticsGateway(
+            service,
+            host=host,
+            batch_window_seconds=window,
+            max_batch=max(2, concurrency),
+            max_in_flight=max_in_flight
+            if max_in_flight is not None
+            else max(concurrency * 2, 64),
+        )
+        await gateway.start()
+        rejected = 0
+        mismatched: List[str] = []
+
+        # Connections open *before* the clock starts: the point measures how
+        # the gateway absorbs a simultaneous request wave, not how fast the
+        # kernel's accept queue drains a connect storm.
+        clients = await asyncio.gather(
+            *[GatewayClient(host, gateway.port).connect() for _ in range(concurrency)]
+        )
+
+        async def client_task(client_index: int) -> int:
+            nonlocal rejected
+            answered = 0
+            client = clients[client_index]
+            for turn in range(requests_per_client):
+                name, expr = pipelines[
+                    (client_index * requests_per_client + turn) % len(pipelines)
+                ]
+                try:
+                    response = await client.submit(expr, name=name, execute=execute)
+                except GatewayError as error:
+                    if error.status == 429:
+                        rejected += 1
+                        continue
+                    raise
+                answered += 1
+                if serial_plans is not None and response["plan"] != serial_plans[name]:
+                    mismatched.append(name)
+            return answered
+
+        start = time.perf_counter()
+        try:
+            answered = sum(
+                await asyncio.gather(*[client_task(i) for i in range(concurrency)])
+            )
+        finally:
+            await asyncio.gather(
+                *[client.close() for client in clients], return_exceptions=True
+            )
+        seconds = time.perf_counter() - start
+        snapshot = gateway.metrics.as_dict()
+        await gateway.stop()
+        point = {
+            "batch_window_seconds": window,
+            "concurrency": int(concurrency),
+            "requests_sent": concurrency * requests_per_client,
+            "requests_answered": answered,
+            "rejected_429": rejected,
+            "seconds": seconds,
+            "requests_per_sec": answered / seconds if seconds > 0 else float("inf"),
+            "peak_in_flight": snapshot["gauges"]["gateway_in_flight_requests"]["max"],
+            "max_batch_size": snapshot["histograms"]["gateway_batch_size"]["max"],
+            "mean_batch_size": snapshot["histograms"]["gateway_batch_size"]["mean"],
+            "batches": snapshot["counters"]["gateway_batches_total"],
+            "deduped_requests": snapshot["counters"]["gateway_deduped_requests_total"],
+            "micro_batching_observed": snapshot["histograms"]["gateway_batch_size"]["max"]
+            > 1,
+            "no_rejections": rejected == 0,
+            "pool": service.pool.stats_dict(),
+        }
+        if serial_plans is not None:
+            point["byte_identical_to_serial"] = not mismatched
+            if mismatched:
+                point["mismatched"] = sorted(set(mismatched))
+        return point
+
+    async def run_grid() -> List[dict]:
+        points = []
+        for window in batch_windows:
+            for concurrency in concurrency_levels:
+                points.append(await run_point(window, concurrency))
+        return points
+
+    points = asyncio.run(run_grid())
+    return {
+        "benchmark": "gateway_load_sweep",
+        "pipelines": [name for name, _ in pipelines],
+        "execute": execute,
+        "requests_per_client": requests_per_client,
+        "points": points,
     }
 
 

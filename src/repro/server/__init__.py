@@ -1,0 +1,57 @@
+"""The serving layer: an asyncio gateway in front of the analytics service.
+
+PR 2 built a concurrent :class:`~repro.service.AnalyticsService`, reachable
+only in-process.  This package puts it on the network without adding a
+single dependency:
+
+* :mod:`repro.server.protocol` — a JSON expression codec (round trips
+  preserve structural equality and fingerprints) plus minimal HTTP/1.1
+  framing over :mod:`asyncio` streams;
+* :mod:`repro.server.metrics` — a thread-safe counter/gauge/histogram
+  registry with a Prometheus-style text exposition;
+* :mod:`repro.server.batcher` — :class:`MicroBatcher`, collecting incoming
+  requests over a configurable window and planning each batch through
+  ``submit_many`` on an executor thread (fingerprint dedup and single-flight
+  shared planning come for free from the service/pool layers);
+* :mod:`repro.server.gateway` — :class:`AnalyticsGateway`, the asyncio
+  server: ``/v1/plan``, ``/v1/pipeline``, ``/metrics``, ``/healthz``,
+  admission control with 429 backpressure, and graceful drain;
+* :mod:`repro.server.client` — :class:`GatewayClient`, the asyncio client
+  the tests and the load harness drive.
+
+See ``docs/api.md`` for the wire protocol and ``docs/architecture.md`` for
+the request → batch → plan → route path.
+"""
+
+from repro.server.batcher import BatcherClosed, MicroBatcher
+from repro.server.client import GatewayClient, GatewayError, parse_prometheus
+from repro.server.gateway import AnalyticsGateway, run_gateway
+from repro.server.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.server.protocol import (
+    ProtocolError,
+    expr_from_json,
+    expr_to_json,
+    parse_plan_request,
+    request_to_json,
+    result_to_json,
+)
+
+__all__ = [
+    "AnalyticsGateway",
+    "BatcherClosed",
+    "Counter",
+    "Gauge",
+    "GatewayClient",
+    "GatewayError",
+    "Histogram",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ProtocolError",
+    "expr_from_json",
+    "expr_to_json",
+    "parse_plan_request",
+    "parse_prometheus",
+    "request_to_json",
+    "result_to_json",
+    "run_gateway",
+]

@@ -1,0 +1,420 @@
+"""The asyncio serving gateway in front of :class:`AnalyticsService`.
+
+``AnalyticsGateway`` is the network front door the ROADMAP's production
+story needs: stdlib-asyncio HTTP/JSON serving, micro-batched planning, and
+the three production behaviours a load balancer assumes:
+
+* **admission control** — at most ``max_in_flight`` requests are admitted
+  at once; request number ``max_in_flight + 1`` is answered ``429 Too Many
+  Requests`` immediately (with a ``Retry-After`` hint) instead of queueing
+  without bound;
+* **graceful drain** — :meth:`stop` stops accepting connections, lets every
+  admitted request finish (flushing the batcher), then closes; requests
+  arriving on open connections during the drain get ``503``;
+* **observability** — ``GET /metrics`` renders the full registry in the
+  Prometheus text format, ``GET /healthz`` answers a JSON liveness
+  document.
+
+Endpoints
+---------
+``POST /v1/plan``
+    Body ``{"expression": <tree>, "name"?, "backend"?, "execute"?}`` (see
+    :mod:`repro.server.protocol`).  ``execute`` defaults to **false** here:
+    the endpoint answers with the plan and timings only.
+``POST /v1/pipeline``
+    Same body; ``execute`` defaults to **true** — the plan is routed to a
+    backend and the (size-capped) value rides back on the response.
+``GET /metrics`` / ``GET /healthz``
+    Exposition and liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Set
+
+from repro.service.service import AnalyticsService, BatchStats
+
+from repro.server.batcher import BatcherClosed, MicroBatcher
+from repro.server.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from repro.server.protocol import (
+    HttpRequest,
+    ProtocolError,
+    format_http_response,
+    json_response,
+    parse_plan_request,
+    read_http_request,
+    result_to_json,
+)
+
+
+class AnalyticsGateway:
+    """Serve one :class:`AnalyticsService` over asyncio-native HTTP/JSON.
+
+    Parameters
+    ----------
+    service:
+        The synchronous service doing planning/execution.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (exposed as
+        :attr:`port` after :meth:`start` — what the tests and the load
+        harness use).
+    max_in_flight:
+        Admission-control bound on concurrently admitted requests.
+    batch_window_seconds / max_batch / plan_workers:
+        Micro-batching knobs, forwarded to :class:`MicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        service: AnalyticsService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 256,
+        batch_window_seconds: float = 0.005,
+        max_batch: int = 128,
+        plan_workers: int = 8,
+        backlog: int = 2048,
+    ):
+        if max_in_flight <= 0:
+            raise ValueError("max_in_flight must be positive")
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        #: Listen backlog sized for connect storms: the load sweep opens
+        #: hundreds of connections in one burst, and the kernel's default
+        #: backlog (asyncio passes 100) turns the overflow into 1s+ SYN
+        #: retransmits that silently serialize the storm.
+        self.backlog = int(backlog)
+        self.max_in_flight = int(max_in_flight)
+        self.metrics = MetricsRegistry()
+        self.batcher = MicroBatcher(
+            service,
+            window_seconds=batch_window_seconds,
+            max_batch=max_batch,
+            plan_workers=plan_workers,
+            metrics=self.metrics,
+        )
+        self._server: Optional[asyncio.Server] = None
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        #: Open connection writers, so :meth:`stop` can close idle
+        #: keep-alive connections: on Python 3.12+ ``Server.wait_closed``
+        #: waits for every connection handler, and a handler parked in
+        #: ``readline`` on an idle client would otherwise hang the drain
+        #: forever.
+        self._connection_writers: Set[asyncio.StreamWriter] = set()
+        # Instruments are created up front so a scrape before the first
+        # request still shows every series at zero.
+        self._requests_total = self.metrics.counter(
+            "gateway_requests_total", "Requests admitted, by eventual status"
+        )
+        self._responses_2xx = self.metrics.counter(
+            "gateway_responses_2xx_total", "Successful responses"
+        )
+        self._responses_4xx = self.metrics.counter(
+            "gateway_responses_4xx_total", "Client-error responses"
+        )
+        self._responses_5xx = self.metrics.counter(
+            "gateway_responses_5xx_total", "Server-error responses"
+        )
+        self._rejected_total = self.metrics.counter(
+            "gateway_rejected_total", "Requests rejected by admission control (429)"
+        )
+        self._drain_rejected_total = self.metrics.counter(
+            "gateway_drain_rejected_total", "Requests rejected while draining (503)"
+        )
+        self._protocol_errors_total = self.metrics.counter(
+            "gateway_protocol_errors_total", "Malformed requests (400/404/405)"
+        )
+        self._plan_failures_total = self.metrics.counter(
+            "gateway_plan_failures_total", "Requests whose expression failed to plan"
+        )
+        self._in_flight_gauge = self.metrics.gauge(
+            "gateway_in_flight_requests", "Requests admitted and not yet answered"
+        )
+        self._connections_gauge = self.metrics.gauge(
+            "gateway_open_connections", "Open client connections"
+        )
+        self._cache_hits_total = self.metrics.counter(
+            "gateway_cache_hits_total", "Requests answered by a cached/shared plan"
+        )
+        self._queue_seconds = self.metrics.histogram(
+            "gateway_queue_seconds", "Per-request queue phase"
+        )
+        self._plan_seconds = self.metrics.histogram(
+            "gateway_plan_seconds", "Per-request plan phase"
+        )
+        self._execute_seconds = self.metrics.histogram(
+            "gateway_execute_seconds", "Per-request execute phase"
+        )
+        self._total_seconds = self.metrics.histogram(
+            "gateway_total_seconds", "Per-request end-to-end latency"
+        )
+        self._service_batch_size = self.metrics.histogram(
+            "service_batch_size",
+            "Requests per submit_many batch, as the service saw them",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._service_batch_seconds = self.metrics.histogram(
+            "service_batch_seconds", "Wall-clock seconds per submit_many batch"
+        )
+        self._service_cache_hits_total = self.metrics.counter(
+            "service_cache_hits_total",
+            "Batch requests served from a cached or deduped plan",
+        )
+        service.add_batch_hook(self._observe_batch)
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self._requested_port,
+            backlog=self.backlog,
+        )
+
+    async def stop(self, timeout: Optional[float] = None) -> None:
+        """Graceful drain: refuse new work, finish admitted work, close.
+
+        ``timeout`` bounds the wait for in-flight requests; on expiry the
+        gateway closes anyway (the remaining waiters see reset
+        connections).  Idempotent.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            waiter = self._idle.wait()
+            if timeout is not None:
+                await asyncio.wait_for(waiter, timeout)
+            else:
+                await waiter
+        except asyncio.TimeoutError:
+            pass
+        await self.batcher.drain()
+        # Every admitted request is answered by now; the remaining
+        # connections are idle keep-alive clients whose handlers sit in
+        # readline.  Close their transports so the handlers return —
+        # otherwise wait_closed() (which awaits all handlers on 3.12+)
+        # would wait on clients that never hang up.
+        for writer in list(self._connection_writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Convenience runner: start (if needed) and block until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ serving
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections_gauge.inc()
+        self._connection_writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_http_request(reader)
+                except ProtocolError as exc:
+                    self._protocol_errors_total.inc()
+                    writer.write(
+                        json_response(400, {"error": str(exc)}, keep_alive=False)
+                    )
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections_gauge.dec()
+            self._connection_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        keep_alive = request.keep_alive
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return self._method_not_allowed(keep_alive)
+            return format_http_response(
+                200,
+                self.metrics.render().encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+                keep_alive=keep_alive,
+            )
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return self._method_not_allowed(keep_alive)
+            return json_response(
+                200 if not self._draining else 503,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "in_flight": self._in_flight,
+                    "max_in_flight": self.max_in_flight,
+                    "pool": self.service.pool.stats_dict(),
+                },
+                keep_alive=keep_alive,
+            )
+        if request.path in ("/v1/plan", "/v1/pipeline"):
+            if request.method != "POST":
+                return self._method_not_allowed(keep_alive)
+            return await self._handle_submit(
+                request, execute_default=request.path == "/v1/pipeline"
+            )
+        self._protocol_errors_total.inc()
+        return json_response(
+            404, {"error": f"no such endpoint {request.path}"}, keep_alive=keep_alive
+        )
+
+    def _method_not_allowed(self, keep_alive: bool) -> bytes:
+        self._protocol_errors_total.inc()
+        return json_response(405, {"error": "method not allowed"}, keep_alive=keep_alive)
+
+    async def _handle_submit(self, request: HttpRequest, execute_default: bool) -> bytes:
+        keep_alive = request.keep_alive
+        if self._draining:
+            self._drain_rejected_total.inc()
+            return json_response(
+                503, {"error": "gateway is draining"}, keep_alive=False
+            )
+        if self._in_flight >= self.max_in_flight:
+            self._rejected_total.inc()
+            return json_response(
+                429,
+                {"error": "too many in-flight requests", "max_in_flight": self.max_in_flight},
+                keep_alive=keep_alive,
+                extra_headers={"retry-after": "0"},
+            )
+        try:
+            body = request.json()
+            if isinstance(body, dict) and "execute" not in body:
+                body = dict(body, execute=execute_default)
+            service_request = parse_plan_request(body)
+        except ProtocolError as exc:
+            self._protocol_errors_total.inc()
+            return json_response(400, {"error": str(exc)}, keep_alive=keep_alive)
+
+        self._admit()
+        try:
+            result = await self.batcher.submit(service_request)
+        except BatcherClosed:
+            self._drain_rejected_total.inc()
+            return json_response(503, {"error": "gateway is draining"}, keep_alive=False)
+        except Exception as exc:
+            self._responses_5xx.inc()
+            return json_response(
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+            )
+        finally:
+            self._release()
+
+        payload = result_to_json(result)
+        planner_failed = any(who == "planner" for who, _ in result.failures)
+        if planner_failed:
+            self._plan_failures_total.inc()
+            self._responses_4xx.inc()
+            return json_response(422, payload, keep_alive=keep_alive)
+        if result.request.execute and result.value is None and result.failures:
+            self._responses_5xx.inc()
+            return json_response(500, payload, keep_alive=keep_alive)
+        self._observe_result(result)
+        self._responses_2xx.inc()
+        return json_response(200, payload, keep_alive=keep_alive)
+
+    # ------------------------------------------------------------------ accounting
+    def _admit(self) -> None:
+        self._in_flight += 1
+        self._requests_total.inc()
+        self._in_flight_gauge.inc()
+        self._idle.clear()
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        self._in_flight_gauge.dec()
+        if self._in_flight == 0:
+            self._idle.set()
+
+    def _observe_result(self, result) -> None:
+        if result.rewrite.cache_hit:
+            self._cache_hits_total.inc()
+        self._queue_seconds.observe(result.queue_seconds)
+        self._plan_seconds.observe(result.plan_seconds)
+        self._execute_seconds.observe(result.execute_seconds)
+        self._total_seconds.observe(result.total_seconds)
+
+    def _observe_batch(self, stats: BatchStats) -> None:
+        # Arrives from the submit_many caller thread via the service batch
+        # hook (the registry is thread-safe).  These are the *service-side*
+        # numbers — they also cover batches other callers push through the
+        # same service, which the batcher's own gateway_batch_* series miss.
+        self._service_batch_size.observe(stats.size)
+        self._service_batch_seconds.observe(stats.seconds)
+        self._service_cache_hits_total.inc(stats.cache_hits)
+
+    # ------------------------------------------------------------------ summaries
+    def stats_dict(self) -> dict:
+        """JSON-ready snapshot for benchmarks: metrics + pool counters."""
+        return {
+            "metrics": self.metrics.as_dict(),
+            "pool": self.service.pool.stats_dict(),
+            "max_in_flight": self.max_in_flight,
+            "batch_window_seconds": self.batcher.window_seconds,
+            "max_batch": self.batcher.max_batch,
+        }
+
+
+def run_gateway(gateway: AnalyticsGateway) -> None:
+    """Blocking convenience entry point (``python -m``-style scripts)."""
+    async def main() -> None:
+        await gateway.start()
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["AnalyticsGateway", "run_gateway"]

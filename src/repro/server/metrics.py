@@ -1,0 +1,271 @@
+"""Gateway metrics: counters, gauges and histograms with a text exposition.
+
+The gateway's observability surface is deliberately Prometheus-shaped —
+monotonic :class:`Counter` series, point-in-time :class:`Gauge` values and
+cumulative-bucket :class:`Histogram` distributions, rendered by
+:meth:`MetricsRegistry.render` in the classic ``# TYPE`` / ``name value``
+text format — but implemented on the stdlib only, because the gateway must
+not pull in dependencies the planner does not already have.
+
+Thread safety: every instrument shares its registry's lock.  Observations
+come both from the event loop (admission, protocol errors) and from worker
+threads inside :meth:`repro.service.AnalyticsService.submit_many` (batch
+hooks), so the lock is not optional.  All operations are O(1) and the lock
+is held for nanoseconds; the registry is nowhere near the serving hot path's
+critical section.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 0.5ms .. 8s, doubling.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0,
+)
+
+#: Default batch-size buckets (requests per micro-batch).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        self.name = name
+        self.help_text = help_text
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down, tracking its observed maximum.
+
+    The maximum matters to the gateway: ``gateway_in_flight_requests`` is
+    sampled at scrape time, but the load sweep's acceptance criterion is the
+    *peak* concurrency sustained, which a scrape can miss entirely.
+    """
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        self.name = name
+        self.help_text = help_text
+        self._lock = lock
+        self._value = 0.0
+        self._max = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            if self._value > self._max:
+                self._max = self._value
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def max_value(self) -> float:
+        with self._lock:
+            return self._max
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an observation lands in every bucket whose
+    bound is >= the value, plus the implicit ``+Inf`` bucket.  ``sum`` and
+    ``count`` allow mean computation; ``max`` is kept because tail behaviour
+    (the largest micro-batch, the slowest request) is what the benchmarks
+    assert on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self._lock = lock
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: cumulative bucket counts, sum, count, max, mean."""
+        with self._lock:
+            cumulative: List[int] = []
+            running = 0
+            for raw in self._counts[:-1]:
+                running += raw
+                cumulative.append(running)
+            total = running + self._counts[-1]
+            return {
+                "buckets": {
+                    str(bound): cum for bound, cum in zip(self.buckets, cumulative)
+                },
+                "sum": self._sum,
+                "count": total,
+                "max": self._max,
+                "mean": self._sum / total if total else 0.0,
+            }
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def max_value(self) -> float:
+        with self._lock:
+            return self._max
+
+
+class MetricsRegistry:
+    """Creates and renders the gateway's instruments.
+
+    One registry per gateway; instruments are created idempotently by name
+    (asking twice returns the same object), so the batcher and the gateway
+    can both reference ``gateway_batch_size`` without plumbing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- factories
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = Counter(name, help_text, self._lock)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = Gauge(name, help_text, self._lock)
+                self._gauges[name] = instrument
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = Histogram(
+                    name,
+                    help_text,
+                    self._lock,
+                    buckets=buckets if buckets is not None else DEFAULT_TIME_BUCKETS,
+                )
+                self._histograms[name] = instrument
+            return instrument
+
+    # ------------------------------------------------------------- exposition
+    def render(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: List[str] = []
+        for counter in sorted(self._counters.values(), key=lambda c: c.name):
+            lines.append(f"# HELP {counter.name} {counter.help_text}")
+            lines.append(f"# TYPE {counter.name} counter")
+            lines.append(f"{counter.name} {_format(counter.value)}")
+        for gauge in sorted(self._gauges.values(), key=lambda g: g.name):
+            lines.append(f"# HELP {gauge.name} {gauge.help_text}")
+            lines.append(f"# TYPE {gauge.name} gauge")
+            lines.append(f"{gauge.name} {_format(gauge.value)}")
+            lines.append(f"{gauge.name}_max {_format(gauge.max_value)}")
+        for histogram in sorted(self._histograms.values(), key=lambda h: h.name):
+            snap = histogram.snapshot()
+            lines.append(f"# HELP {histogram.name} {histogram.help_text}")
+            lines.append(f"# TYPE {histogram.name} histogram")
+            for bound, cumulative in snap["buckets"].items():
+                lines.append(
+                    f'{histogram.name}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            lines.append(f'{histogram.name}_bucket{{le="+Inf"}} {snap["count"]}')
+            lines.append(f"{histogram.name}_sum {_format(snap['sum'])}")
+            lines.append(f"{histogram.name}_count {snap['count']}")
+            lines.append(f"{histogram.name}_max {_format(snap['max'])}")
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (the shape the benchmarks and tests consume)."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": gauge.value, "max": gauge.max_value}
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+
+def _format(value: float) -> str:
+    """Render integers without a trailing ``.0`` (Prometheus style)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

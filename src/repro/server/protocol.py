@@ -1,0 +1,447 @@
+"""The gateway wire protocol: JSON expression trees over minimal HTTP/1.1.
+
+Two independent layers live here:
+
+* an **expression codec** — :func:`expr_to_json` / :func:`expr_from_json`
+  serialize any :class:`repro.lang.matrix_expr.Expr` tree as plain JSON.
+  The encoding mirrors the AST exactly (``op`` / typed ``payload`` /
+  ``children``), so a round trip preserves structural equality *and* the
+  blake2b fingerprint — the property every cache layer keys on.  Payload
+  items carry an explicit type tag because JSON alone cannot distinguish
+  ``2`` from ``2.0``, and the fingerprint hashes ``repr(item)`` with its
+  type name;
+* an **HTTP framing layer** — enough of HTTP/1.1 to serve JSON over
+  :mod:`asyncio` streams without any dependency: request-line + headers +
+  ``Content-Length`` bodies, keep-alive connections, and plain responses.
+  It is intentionally not a general web server (no chunked encoding, no
+  multipart, no TLS); it exists so the gateway's protocol is curl-able and
+  load-testable with stock tools.
+
+Requests decode through :func:`parse_plan_request` into
+:class:`repro.service.ServiceRequest` objects; responses encode through
+:func:`result_to_json`, carrying the plan, per-phase timings and a
+size-capped value payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.exceptions import TypeMismatchError
+from repro.lang import matrix_expr as mx
+from repro.service.service import ServiceRequest, ServiceResult
+
+#: Protect the decoder against hostile or runaway payloads: an expression
+#: tree larger than this is rejected before any node is built.
+MAX_EXPR_NODES = 50_000
+
+#: Largest request body the framing layer will buffer (4 MiB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Dense values up to this many elements are inlined in responses; larger
+#: ones are summarized by shape/nnz so a huge matrix never floods a socket.
+MAX_INLINE_VALUE_ELEMENTS = 64
+
+
+class ProtocolError(ValueError):
+    """A malformed request (bad JSON, unknown op, framing violation)."""
+
+
+# ---------------------------------------------------------------------------
+# Expression codec
+# ---------------------------------------------------------------------------
+
+
+def _op_registry() -> Dict[str, Type[mx.Expr]]:
+    """Map canonical op names to concrete Expr classes (computed once).
+
+    Walks the Expr subclass tree; abstract helpers (``_Unary`` / ``_Binary``
+    and the ``Expr`` base, recognisable by underscore names or the base
+    ``op``) are skipped.  Op names are unique by construction — they mirror
+    the VREM relation names — and this asserts it stays that way.
+    """
+    registry: Dict[str, Type[mx.Expr]] = {}
+    stack: List[Type[mx.Expr]] = [mx.Expr]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if cls.__name__.startswith("_") or cls.op == mx.Expr.op:
+            continue
+        existing = registry.get(cls.op)
+        if existing is not None and existing is not cls:
+            raise RuntimeError(
+                f"duplicate op name {cls.op!r}: {existing.__name__} vs {cls.__name__}"
+            )
+        registry[cls.op] = cls
+    return registry
+
+
+_REGISTRY: Optional[Dict[str, Type[mx.Expr]]] = None
+
+
+def op_registry() -> Dict[str, Type[mx.Expr]]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _op_registry()
+    return _REGISTRY
+
+
+_PAYLOAD_TYPES = {"int": int, "float": float, "str": str}
+
+
+def _payload_to_json(payload: Tuple) -> List[dict]:
+    items = []
+    for item in payload:
+        type_name = type(item).__name__
+        if type_name not in _PAYLOAD_TYPES:
+            raise ProtocolError(f"unserializable payload item {item!r}")
+        items.append({"t": type_name, "v": item})
+    return items
+
+
+def _payload_from_json(items) -> Tuple:
+    if not isinstance(items, list):
+        raise ProtocolError("payload must be a list")
+    payload = []
+    for item in items:
+        if not isinstance(item, dict) or "t" not in item or "v" not in item:
+            raise ProtocolError(f"malformed payload item {item!r}")
+        caster = _PAYLOAD_TYPES.get(item["t"])
+        if caster is None:
+            raise ProtocolError(f"unknown payload type {item['t']!r}")
+        try:
+            payload.append(caster(item["v"]))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad payload value {item!r}") from exc
+    return tuple(payload)
+
+
+def expr_to_json(expr: mx.Expr) -> dict:
+    """Encode an expression tree as a JSON-ready dict."""
+    return {
+        "op": expr.op,
+        "payload": _payload_to_json(expr.payload),
+        "children": [expr_to_json(child) for child in expr.children],
+    }
+
+
+def expr_from_json(obj: dict, max_nodes: int = MAX_EXPR_NODES) -> mx.Expr:
+    """Decode an expression tree, validating ops, arity, payloads and size.
+
+    Nodes are rebuilt through the real subclass constructors: every
+    concrete ``Expr`` class takes exactly ``(*children, *payload)`` in
+    order, so the constructors' own invariants (non-empty reference names,
+    positive identity sizes, non-negative exponents, …) run on every
+    decoded node — a leaf smuggling children or an integer where a name
+    belongs is rejected here, not as a confusing planner error later.  The
+    type tags restored the exact payload types, so fingerprints survive
+    the round trip.
+    """
+    registry = op_registry()
+    budget = [max_nodes]
+
+    def build(node) -> mx.Expr:
+        if not isinstance(node, dict):
+            raise ProtocolError(f"expression node must be an object, got {node!r}")
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise ProtocolError(f"expression exceeds {max_nodes} nodes")
+        op = node.get("op")
+        cls = registry.get(op) if isinstance(op, str) else None
+        if cls is None:
+            raise ProtocolError(f"unknown expression op {op!r}")
+        children = node.get("children", [])
+        if not isinstance(children, list):
+            raise ProtocolError("children must be a list")
+        if len(children) != cls.arity:
+            raise ProtocolError(
+                f"{op!r} expects {cls.arity} children, got {len(children)}"
+            )
+        built = tuple(build(child) for child in children)
+        payload = _payload_from_json(node.get("payload", []))
+        try:
+            return cls(*built, *payload)
+        except (TypeMismatchError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid {op!r} node: {exc}") from exc
+
+    return build(obj)
+
+
+# ---------------------------------------------------------------------------
+# Request / result JSON shapes
+# ---------------------------------------------------------------------------
+
+
+def request_to_json(request: ServiceRequest) -> dict:
+    """Encode a service request as a gateway request body."""
+    body: dict = {"expression": expr_to_json(request.expression)}
+    if request.name:
+        body["name"] = request.name
+    if request.backend is not None:
+        body["backend"] = request.backend
+    if not request.execute:
+        body["execute"] = False
+    return body
+
+
+def parse_plan_request(body: dict) -> ServiceRequest:
+    """Decode one gateway request body into a :class:`ServiceRequest`."""
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    if "expression" not in body:
+        raise ProtocolError("request body needs an 'expression' field")
+    expression = expr_from_json(body["expression"])
+    name = body.get("name", "")
+    if not isinstance(name, str):
+        raise ProtocolError("'name' must be a string")
+    backend = body.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ProtocolError("'backend' must be a string")
+    execute = body.get("execute", True)
+    if not isinstance(execute, bool):
+        raise ProtocolError("'execute' must be a boolean")
+    return ServiceRequest(
+        expression=expression, name=name, backend=backend, execute=execute
+    )
+
+
+def value_to_json(value) -> Optional[dict]:
+    """Size-capped JSON rendering of an execution value.
+
+    Scalars and small dense matrices are inlined; anything bigger is
+    summarized by shape (and nnz for sparse values) — the caller asked for a
+    result, not for megabytes of matrix over a JSON socket.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return {"kind": "scalar", "data": float(value)}
+    if hasattr(value, "tocsr"):  # scipy sparse
+        return {
+            "kind": "sparse",
+            "shape": [int(dim) for dim in value.shape],
+            "nnz": int(value.nnz),
+        }
+    if hasattr(value, "shape"):  # numpy array
+        shape = [int(dim) for dim in value.shape]
+        size = 1
+        for dim in shape:
+            size *= dim
+        summary = {"kind": "dense", "shape": shape}
+        if size <= MAX_INLINE_VALUE_ELEMENTS:
+            summary["data"] = value.tolist()
+        return summary
+    return {"kind": "opaque", "repr": repr(value)[:200]}
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    """NaN/inf costs (unplannable requests) must not leak into the JSON:
+    ``json.dumps`` would emit the spec-invalid ``NaN`` literal that
+    standards-strict consumers (``JSON.parse``, ``jq``) refuse to parse."""
+    return float(value) if math.isfinite(value) else None
+
+
+def result_to_json(result: ServiceResult) -> dict:
+    """Encode one service result as the gateway's response body."""
+    rewrite = result.rewrite
+    return {
+        "name": result.request.name,
+        "fingerprint": rewrite.fingerprint or result.request.expression.fingerprint(),
+        "plan": rewrite.best.to_string(),
+        "changed": rewrite.changed,
+        "cache_hit": rewrite.cache_hit,
+        "original_cost": _finite_or_none(rewrite.original_cost),
+        "best_cost": _finite_or_none(rewrite.best_cost),
+        "used_views": list(rewrite.used_views),
+        "backend": result.backend,
+        "value": value_to_json(result.value),
+        "failures": [[str(who), str(why)] for who, why in result.failures],
+        "timings": {
+            "queue_seconds": result.queue_seconds,
+            "plan_seconds": result.plan_seconds,
+            "execute_seconds": result.execute_seconds,
+            "total_seconds": result.total_seconds,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# HTTP framing over asyncio streams
+# ---------------------------------------------------------------------------
+
+
+class HttpRequest:
+    """One parsed request: method, path, headers (lower-cased keys), body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_http_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Read one request off a connection; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on malformed framing (the handler answers
+    400 and closes).  Header section is capped at 64 lines and bodies at
+    :data:`MAX_BODY_BYTES`.
+    """
+    try:
+        request_line = await reader.readline()
+    except ConnectionResetError:
+        return None
+    except ValueError as exc:
+        # StreamReader.readline wraps a limit overrun in plain ValueError;
+        # an oversized request line is a framing violation, answered 400.
+        raise ProtocolError(f"request line exceeds the stream limit: {exc}") from exc
+    if not request_line:
+        return None
+    try:
+        method, path, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise ProtocolError(f"malformed request line {request_line!r}")
+    headers: Dict[str, str] = {}
+    for _ in range(64):
+        try:
+            line = await reader.readline()
+        except ValueError as exc:
+            raise ProtocolError(f"header line exceeds the stream limit: {exc}") from exc
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if b":" not in line:
+            raise ProtocolError(f"malformed header line {line!r}")
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many headers")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method.upper(), path, headers, body)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def format_http_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"content-type: {content_type}",
+        f"content-length: {len(body)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for key, value in (extra_headers or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    return format_http_response(
+        status,
+        json.dumps(payload).encode("utf-8"),
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )
+
+
+def format_http_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    keep_alive: bool = True,
+    host: str = "gateway",
+) -> bytes:
+    """Client-side: serialize one HTTP/1.1 request."""
+    lines = [
+        f"{method.upper()} {path} HTTP/1.1",
+        f"host: {host}",
+        "content-type: application/json",
+        f"content-length: {len(body)}",
+        f"connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def read_http_response(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, str], bytes]:
+    """Client-side: read one response, returning (status, headers, body)."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ProtocolError("connection closed before response")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ProtocolError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for _ in range(64):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+__all__ = [
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_EXPR_NODES",
+    "MAX_INLINE_VALUE_ELEMENTS",
+    "ProtocolError",
+    "expr_from_json",
+    "expr_to_json",
+    "format_http_request",
+    "format_http_response",
+    "json_response",
+    "op_registry",
+    "parse_plan_request",
+    "read_http_request",
+    "read_http_response",
+    "request_to_json",
+    "result_to_json",
+    "value_to_json",
+]

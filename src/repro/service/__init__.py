@@ -35,10 +35,18 @@ from repro.service.router import (
     RoutingPolicy,
     StaticPolicy,
 )
-from repro.service.service import AnalyticsService, ServiceRequest, ServiceResult
+from repro.service.service import (
+    AnalyticsService,
+    BatchHook,
+    BatchStats,
+    ServiceRequest,
+    ServiceResult,
+)
 
 __all__ = [
     "AnalyticsService",
+    "BatchHook",
+    "BatchStats",
     "DefaultPolicy",
     "ExecutionRouter",
     "PlanSessionPool",

@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.base import Value
 from repro.constraints.views import LAView
@@ -99,6 +99,40 @@ class ServiceResult:
     def total_seconds(self) -> float:
         return self.queue_seconds + self.plan_seconds + self.execute_seconds
 
+    @property
+    def ok(self) -> bool:
+        """True unless planning or every candidate backend failed."""
+        return not self.failures
+
+
+@dataclass
+class BatchStats:
+    """What one :meth:`AnalyticsService.submit_many` call did, for observers.
+
+    Batch hooks (:meth:`AnalyticsService.add_batch_hook`) receive one of
+    these per batch — the gateway uses them to feed its metrics registry
+    without wrapping every call site.
+    """
+
+    size: int
+    distinct_fingerprints: int
+    cache_hits: int
+    plan_failures: int
+    execute_failures: int
+    seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "distinct_fingerprints": self.distinct_fingerprints,
+            "cache_hits": self.cache_hits,
+            "plan_failures": self.plan_failures,
+            "execute_failures": self.execute_failures,
+            "seconds": self.seconds,
+        }
+
+
+BatchHook = Callable[[BatchStats], None]
 
 RequestLike = Union[ServiceRequest, mx.Expr, Tuple[str, mx.Expr]]
 
@@ -147,6 +181,10 @@ class AnalyticsService:
             )
         self.pool = pool
         self.router = router if router is not None else ExecutionRouter(catalog, policy=policy)
+        #: Observers called with a :class:`BatchStats` after every
+        #: :meth:`submit_many`; hook errors are swallowed (observability must
+        #: never fail a batch).
+        self._batch_hooks: List[BatchHook] = []
         self._hybrid_optimizer = None
         self._hybrid_executor = None
         #: The hybrid optimizer holds long-lived PlanSessions (not
@@ -221,10 +259,13 @@ class AnalyticsService:
         and the plans are byte-identical to a serial
         :meth:`PlanSession.rewrite_all` over the same batch.
 
-        Execution failures are isolated per request: a request whose every
-        candidate backend failed comes back with ``value=None`` and the
-        full failure log in ``failures``, without aborting the rest of the
-        batch (direct :meth:`submit` calls raise instead).
+        Failures are isolated per request, for planning and execution both:
+        a request whose expression cannot be planned (or whose every
+        candidate backend failed) comes back with ``value=None``, ``ok``
+        False and the error in ``failures``, without aborting the rest of
+        the batch (direct :meth:`submit` calls raise instead).  This is
+        what makes the batch entry point safe for servers: one poisoned
+        request in a micro-batch must cost exactly one error response.
         """
         requests = [self.as_request(item) for item in items]
         if not requests:
@@ -238,9 +279,17 @@ class AnalyticsService:
         with ThreadPoolExecutor(max_workers=max(1, int(workers))) as executor:
 
             def run_group(indices: List[int]) -> List:
-                rewrite, queue_seconds, plan_seconds = self._plan_timed(
-                    requests[indices[0]].expression, enqueued
-                )
+                expression = requests[indices[0]].expression
+                try:
+                    rewrite, queue_seconds, plan_seconds = self._plan_timed(
+                        expression, enqueued
+                    )
+                    plan_error = None
+                except Exception as exc:  # planner errors are per-request data
+                    rewrite = self._unplanned(expression)
+                    queue_seconds = time.perf_counter() - enqueued
+                    plan_seconds = 0.0
+                    plan_error = f"{type(exc).__name__}: {exc}"
                 executions = []
                 for position, index in enumerate(indices):
                     leader = position == 0
@@ -256,6 +305,9 @@ class AnalyticsService:
                         plan_seconds=plan_seconds if leader else 0.0,
                     )
                     results[index] = result
+                    if plan_error is not None:
+                        result.failures.append(("planner", plan_error))
+                        continue
                     if result.request.execute:
                         # Submitted from inside the worker so execution can
                         # overlap groups still planning; the main thread
@@ -273,7 +325,59 @@ class AnalyticsService:
             for future in group_futures:
                 for execution in future.result():
                     execution.result()
-        return [result for result in results if result is not None]
+        completed = [result for result in results if result is not None]
+        self._notify_batch_hooks(completed, time.perf_counter() - enqueued, len(groups))
+        return completed
+
+    @staticmethod
+    def _unplanned(expression: mx.Expr) -> RewriteResult:
+        """An identity rewrite standing in for a plan that could not be made."""
+        return RewriteResult(
+            original=expression,
+            best=expression,
+            original_cost=float("nan"),
+            best_cost=float("nan"),
+            changed=False,
+            rewrite_seconds=0.0,
+            fingerprint=expression.fingerprint(),
+        )
+
+    # ------------------------------------------------------------------ hooks
+    def add_batch_hook(self, hook: BatchHook) -> BatchHook:
+        """Register an observer called with a :class:`BatchStats` per batch."""
+        self._batch_hooks.append(hook)
+        return hook
+
+    def remove_batch_hook(self, hook: BatchHook) -> None:
+        self._batch_hooks.remove(hook)
+
+    def _notify_batch_hooks(
+        self, results: List[ServiceResult], seconds: float, distinct: int
+    ) -> None:
+        if not self._batch_hooks:
+            return
+        stats = BatchStats(
+            size=len(results),
+            distinct_fingerprints=distinct,
+            cache_hits=sum(1 for result in results if result.rewrite.cache_hit),
+            plan_failures=sum(
+                1
+                for result in results
+                if any(who == "planner" for who, _ in result.failures)
+            ),
+            execute_failures=sum(
+                1
+                for result in results
+                if result.failures
+                and not any(who == "planner" for who, _ in result.failures)
+            ),
+            seconds=seconds,
+        )
+        for hook in list(self._batch_hooks):
+            try:
+                hook(stats)
+            except Exception:
+                continue
 
     def _plan_timed(
         self, expr: mx.Expr, enqueued: float
@@ -360,4 +464,10 @@ class AnalyticsService:
         return result
 
 
-__all__ = ["AnalyticsService", "ServiceRequest", "ServiceResult"]
+__all__ = [
+    "AnalyticsService",
+    "BatchHook",
+    "BatchStats",
+    "ServiceRequest",
+    "ServiceResult",
+]

@@ -1,0 +1,522 @@
+"""Tests of the serving layer: wire protocol, metrics, batcher, gateway.
+
+The behaviours the gateway promises:
+
+* the expression codec round-trips every benchmark pipeline with structural
+  equality and identical fingerprints (the property all cache keys rest on);
+* a concurrent client storm produces plans byte-identical to a serial
+  ``rewrite_all`` over the same expressions, with micro-batching observed;
+* admission control answers 429 beyond ``max_in_flight`` while every
+  admitted request still completes;
+* graceful drain finishes in-flight work, 503s late arrivals, and leaves
+  nothing hanging;
+* per-request failures (an unplannable expression) cost exactly one 422,
+  not the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.numpy_backend import NumpyBackend
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE
+from repro.benchkit.pipelines import build_pipeline, default_roles, pipeline_names
+from repro.lang import colsums, inv, matrix, sum_all, transpose
+from repro.lang import matrix_expr as mx
+from repro.planner import PlanSession
+from repro.server import (
+    AnalyticsGateway,
+    BatcherClosed,
+    GatewayClient,
+    GatewayError,
+    MetricsRegistry,
+    MicroBatcher,
+    ProtocolError,
+    expr_from_json,
+    expr_to_json,
+    parse_plan_request,
+    parse_prometheus,
+)
+from repro.server.metrics import DEFAULT_SIZE_BUCKETS
+from repro.service import AnalyticsService, ServiceRequest
+
+
+def _sample_exprs():
+    """A small, structurally diverse expression set over the test catalog."""
+    M, N, A, B, C = (matrix(name) for name in "MNABC")
+    return [
+        transpose(M @ N),
+        (A + B) @ matrix("vA"),
+        sum_all(M @ N),
+        colsums(M @ N),
+        inv(C),
+        transpose(transpose(A)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Expression codec
+# ---------------------------------------------------------------------------
+
+
+class TestExprCodec:
+    def test_round_trip_all_benchmark_pipelines(self):
+        roles = default_roles(ROLE_BINDINGS_DENSE)
+        for name in pipeline_names():
+            expr = build_pipeline(name, roles)
+            decoded = expr_from_json(expr_to_json(expr))
+            assert decoded == expr, name
+            assert decoded.fingerprint() == expr.fingerprint(), name
+
+    def test_payload_types_survive(self):
+        # Identity carries an int, ScalarConst a float; the fingerprint
+        # hashes the payload type names, so a codec that collapsed 2 and
+        # 2.0 would silently split the cache.
+        identity = mx.Identity(4)
+        const = mx.ScalarConst(4.0)
+        for expr in (identity, const, mx.MatPow(matrix("M"), 3)):
+            decoded = expr_from_json(expr_to_json(expr))
+            assert decoded == expr
+            assert decoded.fingerprint() == expr.fingerprint()
+            assert [type(p) for p in decoded.payload] == [type(p) for p in expr.payload]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown expression op"):
+            expr_from_json({"op": "evil", "payload": [], "children": []})
+
+    def test_arity_mismatch_rejected(self):
+        encoded = expr_to_json(transpose(matrix("M")))
+        encoded["children"] = []
+        with pytest.raises(ProtocolError, match="expects 1 children"):
+            expr_from_json(encoded)
+
+    def test_leaf_invariants_enforced(self):
+        # Leaves must not smuggle children, and payloads go through the
+        # real constructors: empty names, non-positive sizes and wrong
+        # types are protocol errors, not downstream planner surprises.
+        leaf_with_child = {
+            "op": "name",
+            "payload": [{"t": "str", "v": "M"}],
+            "children": [expr_to_json(matrix("N"))],
+        }
+        with pytest.raises(ProtocolError, match="expects 0 children"):
+            expr_from_json(leaf_with_child)
+        for bad_payload in (
+            [{"t": "str", "v": ""}],  # empty matrix name
+            [{"t": "int", "v": 5}],  # int where a name belongs
+        ):
+            with pytest.raises(ProtocolError):
+                expr_from_json({"op": "name", "payload": bad_payload, "children": []})
+        with pytest.raises(ProtocolError, match="invalid 'identity'"):
+            expr_from_json(
+                {"op": "identity", "payload": [{"t": "int", "v": 0}], "children": []}
+            )
+
+    def test_node_budget_enforced(self):
+        expr = matrix("M")
+        for _ in range(10):
+            expr = expr + matrix("M")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            expr_from_json(expr_to_json(expr), max_nodes=5)
+
+    def test_parse_plan_request_validates(self):
+        body = {"expression": expr_to_json(matrix("M")), "name": "p", "execute": False}
+        request = parse_plan_request(body)
+        assert isinstance(request, ServiceRequest)
+        assert request.name == "p" and request.execute is False
+        with pytest.raises(ProtocolError, match="expression"):
+            parse_plan_request({"name": "no-expr"})
+        with pytest.raises(ProtocolError, match="'execute'"):
+            parse_plan_request(dict(body, execute="yes"))
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_semantics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+        gauge = registry.gauge("g", "help")
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 2 and gauge.max_value == 5
+
+        histogram = registry.histogram("h", "help", buckets=DEFAULT_SIZE_BUCKETS)
+        for value in (1, 3, 200, 500):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4 and snap["max"] == 500
+        assert snap["buckets"]["1.0"] == 1  # cumulative: only the 1
+        assert snap["buckets"]["4.0"] == 2  # 1 and 3
+
+    def test_instruments_are_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+
+    def test_render_is_prometheus_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "requests").inc(7)
+        registry.histogram("lat_seconds", "latency").observe(0.003)
+        parsed = parse_prometheus(registry.render())
+        assert parsed["reqs_total"] == 7
+        assert parsed["lat_seconds_count"] == 1
+        assert 'lat_seconds_bucket{le="0.005"}' in parsed
+
+
+# ---------------------------------------------------------------------------
+# Micro-batcher
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_window_groups_concurrent_requests(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=4)
+        metrics = MetricsRegistry()
+        exprs = _sample_exprs()
+
+        async def main():
+            batcher = MicroBatcher(
+                service, window_seconds=0.02, max_batch=64, metrics=metrics
+            )
+            requests = [
+                ServiceRequest(expression=expr, execute=False) for expr in exprs * 3
+            ]
+            results = await asyncio.gather(
+                *[batcher.submit(request) for request in requests]
+            )
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(main())
+        assert len(results) == len(exprs) * 3
+        snapshot = metrics.as_dict()
+        assert snapshot["histograms"]["gateway_batch_size"]["max"] == len(exprs) * 3
+        # 3 copies of each expression: the duplicates never plan.
+        assert snapshot["counters"]["gateway_deduped_requests_total"] == len(exprs) * 2
+        assert service.pool.stats.plans_computed == len(exprs)
+
+    def test_cancelled_waiter_does_not_poison_batch(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=4)
+        exprs = _sample_exprs()
+
+        async def main():
+            batcher = MicroBatcher(service, window_seconds=0.05, max_batch=64)
+            tasks = [
+                asyncio.ensure_future(
+                    batcher.submit(ServiceRequest(expression=expr, execute=False))
+                )
+                for expr in exprs
+            ]
+            await asyncio.sleep(0.01)  # inside the window: all queued, none cut
+            tasks[0].cancel()
+            survivors = await asyncio.gather(*tasks[1:])
+            await batcher.drain()
+            assert tasks[0].cancelled()
+            return survivors
+
+        survivors = asyncio.run(main())
+        assert len(survivors) == len(exprs) - 1
+        assert all(result.ok for result in survivors)
+
+    def test_submit_after_drain_raises(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            batcher = MicroBatcher(service, window_seconds=0.001)
+            await batcher.submit(
+                ServiceRequest(expression=_sample_exprs()[0], execute=False)
+            )
+            await batcher.drain()
+            with pytest.raises(BatcherClosed):
+                await batcher.submit(
+                    ServiceRequest(expression=_sample_exprs()[1], execute=False)
+                )
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Gateway end to end
+# ---------------------------------------------------------------------------
+
+
+def _gateway(service, **kwargs) -> AnalyticsGateway:
+    kwargs.setdefault("batch_window_seconds", 0.01)
+    return AnalyticsGateway(service, **kwargs)
+
+
+class TestGateway:
+    def test_storm_plans_byte_identical_to_serial(self, small_catalog):
+        """64 concurrent clients, plans must equal a serial rewrite_all."""
+        exprs = _sample_exprs()
+        serial = PlanSession(small_catalog).rewrite_all(exprs)
+        expected = [result.best.to_string() for result in serial]
+        service = AnalyticsService(small_catalog, max_sessions=8)
+        clients = 64
+
+        async def main():
+            gateway = _gateway(service, max_in_flight=256)
+            await gateway.start()
+            connections = await asyncio.gather(
+                *[
+                    GatewayClient("127.0.0.1", gateway.port).connect()
+                    for _ in range(clients)
+                ]
+            )
+
+            async def one(index):
+                expr = exprs[index % len(exprs)]
+                response = await connections[index].plan(expr, name=str(index))
+                return index, response
+
+            responses = await asyncio.gather(*[one(i) for i in range(clients)])
+            await asyncio.gather(*[connection.close() for connection in connections])
+            snapshot = gateway.metrics.as_dict()
+            await gateway.stop()
+            return responses, snapshot
+
+        responses, snapshot = asyncio.run(main())
+        for index, response in responses:
+            assert response["plan"] == expected[index % len(exprs)], index
+        # Micro-batching really happened (the storm is simultaneous).
+        assert snapshot["histograms"]["gateway_batch_size"]["max"] > 1
+        assert snapshot["gauges"]["gateway_in_flight_requests"]["max"] > 1
+        # Dedup: 64 requests over 6 distinct fingerprints.
+        assert service.pool.stats.plans_computed == len(exprs)
+
+    def test_execute_value_matches_backend(self, small_catalog):
+        expr = transpose(matrix("M") @ matrix("N"))
+        expected = NumpyBackend(small_catalog).evaluate(expr)
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            gateway = _gateway(service)
+            await gateway.start()
+            async with GatewayClient("127.0.0.1", gateway.port) as client:
+                response = await client.execute(expr, name="exec")
+            await gateway.stop()
+            return response
+
+        response = asyncio.run(main())
+        assert response["backend"] is not None
+        value = response["value"]
+        assert value["kind"] == "dense"
+        assert value["shape"] == list(expected.shape)
+        if "data" in value:
+            np.testing.assert_allclose(np.asarray(value["data"]), expected, rtol=1e-6)
+        timings = response["timings"]
+        assert timings["total_seconds"] == pytest.approx(
+            timings["queue_seconds"]
+            + timings["plan_seconds"]
+            + timings["execute_seconds"]
+        )
+
+    def test_backpressure_rejects_over_limit(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        original = service.submit_many
+
+        def slow_submit_many(requests, workers=8):
+            time.sleep(0.25)
+            return original(requests, workers=workers)
+
+        service.submit_many = slow_submit_many  # type: ignore[method-assign]
+        clients = 10
+
+        async def main():
+            gateway = _gateway(service, max_in_flight=2, batch_window_seconds=0.02)
+            await gateway.start()
+            connections = await asyncio.gather(
+                *[
+                    GatewayClient("127.0.0.1", gateway.port).connect()
+                    for _ in range(clients)
+                ]
+            )
+
+            async def one(index):
+                try:
+                    await connections[index].plan(_sample_exprs()[0], name=str(index))
+                    return "ok"
+                except GatewayError as error:
+                    assert error.status == 429
+                    assert "max_in_flight" in error.payload
+                    return "rejected"
+
+            outcomes = await asyncio.gather(*[one(i) for i in range(clients)])
+            await asyncio.gather(*[connection.close() for connection in connections])
+            snapshot = gateway.metrics.as_dict()
+            await gateway.stop()
+            return outcomes, snapshot
+
+        outcomes, snapshot = asyncio.run(main())
+        assert outcomes.count("rejected") >= 1
+        assert outcomes.count("ok") >= 2
+        assert len(outcomes) == clients
+        assert snapshot["counters"]["gateway_rejected_total"] == outcomes.count(
+            "rejected"
+        )
+        # Admission control never exceeded its bound.
+        assert snapshot["gauges"]["gateway_in_flight_requests"]["max"] <= 2
+
+    def test_graceful_drain_completes_inflight_and_503s_late(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        original = service.submit_many
+
+        def slow_submit_many(requests, workers=8):
+            time.sleep(0.3)
+            return original(requests, workers=workers)
+
+        service.submit_many = slow_submit_many  # type: ignore[method-assign]
+
+        async def main():
+            gateway = _gateway(service, batch_window_seconds=0.01)
+            await gateway.start()
+            early = await GatewayClient("127.0.0.1", gateway.port).connect()
+            late = await GatewayClient("127.0.0.1", gateway.port).connect()
+
+            inflight = asyncio.ensure_future(
+                early.plan(_sample_exprs()[0], name="inflight")
+            )
+            await asyncio.sleep(0.1)  # admitted, batch is planning
+            stopping = asyncio.ensure_future(gateway.stop())
+            await asyncio.sleep(0.05)
+            assert gateway.draining
+            status, payload = await late.request(
+                "POST",
+                "/v1/plan",
+                {"expression": expr_to_json(_sample_exprs()[1])},
+            )
+            response = await inflight
+            await stopping
+            await early.close()
+            await late.close()
+            return status, payload, response, gateway.in_flight
+
+        status, payload, response, in_flight = asyncio.run(main())
+        assert status == 503 and "drain" in payload["error"]
+        assert response["plan"]  # the admitted request completed with a plan
+        assert in_flight == 0
+
+    def test_unplannable_expression_answers_422_not_batch_failure(self, small_catalog):
+        # M (40x6) @ A (30x8): a shape error the planner raises on.  Batched
+        # together with a healthy request, only the poisoned one may fail.
+        bad = matrix("M") @ matrix("A")
+        good = transpose(matrix("M") @ matrix("N"))
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            gateway = _gateway(service, batch_window_seconds=0.05)
+            await gateway.start()
+            async with GatewayClient("127.0.0.1", gateway.port) as bad_client:
+                async with GatewayClient("127.0.0.1", gateway.port) as good_client:
+                    bad_task = asyncio.ensure_future(
+                        bad_client.submit(bad, name="bad", raise_on_error=False)
+                    )
+                    good_task = asyncio.ensure_future(
+                        good_client.plan(good, name="good")
+                    )
+                    bad_response, good_response = await asyncio.gather(
+                        bad_task, good_task
+                    )
+            snapshot = gateway.metrics.as_dict()
+            await gateway.stop()
+            return bad_response, good_response, snapshot
+
+        bad_response, good_response, snapshot = asyncio.run(main())
+        assert bad_response["status"] == 422
+        assert any(who == "planner" for who, _ in bad_response["failures"])
+        # Unplannable requests have no costs; the body must stay strict
+        # JSON (null), never the spec-invalid NaN literal.
+        assert bad_response["original_cost"] is None
+        assert bad_response["best_cost"] is None
+        assert good_response["plan"]
+        assert snapshot["counters"]["gateway_plan_failures_total"] == 1
+
+    def test_stop_returns_despite_idle_keepalive_connections(self, small_catalog):
+        """A client that holds its keep-alive connection open must not hang
+        the drain (Server.wait_closed awaits all handlers on 3.12+)."""
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            gateway = _gateway(service)
+            await gateway.start()
+            idle_client = await GatewayClient("127.0.0.1", gateway.port).connect()
+            await idle_client.plan(_sample_exprs()[0])
+            # idle_client keeps its connection open; stop() must still finish.
+            await asyncio.wait_for(gateway.stop(), timeout=10)
+            await idle_client.close()
+
+        asyncio.run(main())
+
+    def test_oversized_request_line_answers_400(self, small_catalog):
+        """A request line past the stream limit is a 400, not a reset."""
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            gateway = _gateway(service)
+            await gateway.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", gateway.port)
+            writer.write(b"GET /" + b"a" * 100_000 + b" HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readline()
+            writer.close()
+            await gateway.stop()
+            return status_line
+
+        status_line = asyncio.run(main())
+        assert b"400" in status_line
+
+    def test_http_errors(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        async def main():
+            gateway = _gateway(service)
+            await gateway.start()
+            async with GatewayClient("127.0.0.1", gateway.port) as client:
+                missing = await client.request("GET", "/nope")
+                bad_method = await client.request("GET", "/v1/plan")
+                bad_body = await client.request("POST", "/v1/plan", {"no": "expr"})
+                health = await client.health()
+            await gateway.stop()
+            return missing, bad_method, bad_body, health
+
+        missing, bad_method, bad_body, health = asyncio.run(main())
+        assert missing[0] == 404
+        assert bad_method[0] == 405
+        assert bad_body[0] == 400
+        assert health["status_code"] == 200 and health["status"] == "ok"
+
+    def test_metrics_endpoint_exposes_serving_series(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        expr = _sample_exprs()[0]
+
+        async def main():
+            gateway = _gateway(service)
+            await gateway.start()
+            async with GatewayClient("127.0.0.1", gateway.port) as client:
+                for _ in range(3):
+                    await client.plan(expr)
+                text = await client.metrics_text()
+            await gateway.stop()
+            return text
+
+        parsed = parse_prometheus(asyncio.run(main()))
+        assert parsed["gateway_requests_total"] == 3
+        assert parsed["gateway_responses_2xx_total"] == 3
+        assert parsed["gateway_batches_total"] >= 1
+        assert parsed["gateway_total_seconds_count"] == 3
+        # 3 identical expressions: at least 2 answered from cached plans.
+        assert parsed["gateway_cache_hits_total"] >= 2

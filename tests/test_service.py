@@ -382,3 +382,73 @@ class TestAnalyticsService:
         result = HybridExecutor(small_tables).execute(query)
         assert result.plan_seconds == 0.0
         assert result.total_seconds == pytest.approx(result.ra_seconds + result.la_seconds)
+
+
+# ---------------------------------------------------------------------------
+# Batch hooks and failure isolation (serving-layer support)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchHooksAndIsolation:
+    def test_batch_hooks_observe_every_submit_many(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        seen = []
+        service.add_batch_hook(seen.append)
+        requests = [
+            ServiceRequest(expression=_mn(), execute=False),
+            ServiceRequest(expression=_mn(), execute=False),
+            ServiceRequest(expression=colsums(matrix("A")), execute=False),
+        ]
+        service.submit_many(requests, workers=2)
+        assert len(seen) == 1
+        stats = seen[0]
+        assert stats.size == 3
+        assert stats.distinct_fingerprints == 2
+        assert stats.cache_hits == 1  # the duplicate _mn()
+        assert stats.plan_failures == 0
+        assert stats.seconds > 0
+        assert stats.as_dict()["size"] == 3
+
+    def test_hook_errors_never_fail_a_batch(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+
+        def broken_hook(stats):
+            raise RuntimeError("observer bug")
+
+        service.add_batch_hook(broken_hook)
+        results = service.submit_many([_mn()], workers=1)
+        assert len(results) == 1 and results[0].ok
+
+    def test_remove_batch_hook(self, small_catalog):
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        seen = []
+        hook = service.add_batch_hook(seen.append)
+        service.remove_batch_hook(hook)
+        service.submit_many([_mn()], workers=1)
+        assert seen == []
+
+    def test_plan_failure_is_isolated_per_request(self, small_catalog):
+        """One unplannable expression in a batch costs exactly one failed
+        result; every other request still plans (and executes) normally."""
+        bad = matrix("M") @ matrix("A")  # 40x6 @ 30x8: ShapeError in planning
+        good = _mn()
+        service = AnalyticsService(small_catalog, max_sessions=2)
+        results = service.submit_many(
+            [
+                ServiceRequest(expression=good, execute=False),
+                ServiceRequest(expression=bad, execute=False),
+                ServiceRequest(expression=bad, execute=False),  # same group
+            ],
+            workers=2,
+        )
+        assert len(results) == 3
+        assert results[0].ok and results[0].rewrite.best is not None
+        for failed in results[1:]:
+            assert not failed.ok
+            assert any(who == "planner" for who, _ in failed.failures)
+            # The identity rewrite stands in: original echoed back, unplanned.
+            assert failed.rewrite.best == bad
+            assert not failed.rewrite.changed
+        # Direct submit still raises for the same expression.
+        with pytest.raises(Exception):
+            service.submit(ServiceRequest(expression=bad, execute=False))
