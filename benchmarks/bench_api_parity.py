@@ -1,0 +1,90 @@
+"""API-redesign acceptance: ``Engine.rewrite`` is byte-identical to legacy.
+
+The :mod:`repro.api` consolidation is only allowed to move code, never
+plans: for every one of the 57 benchkit pipelines, the plan produced by the
+new :class:`repro.api.Engine` (pooled sessions built from a frozen
+:class:`~repro.config.PlannerConfig`) must equal — decoded expression
+string for string, cost for cost — the plan of the legacy
+``HadadOptimizer`` façade it replaces, and of a bare ``PlanSession`` (the
+pre-façade path).
+
+Run under pytest (``python -m pytest benchmarks/bench_api_parity.py``) for
+the assertions, or directly (``python benchmarks/bench_api_parity.py``) to
+emit a JSON summary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import Engine
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+from repro.benchkit.pipelines import build_pipeline, default_roles, pipeline_names
+from repro.core import HadadOptimizer
+from repro.planner import PlanSession
+
+
+def _pipelines(catalog_scale: float = 0.01):
+    catalog = benchmark_catalog(scale=catalog_scale)
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    return catalog, [(name, build_pipeline(name, roles)) for name in pipeline_names()]
+
+
+def measure(scale: float = 0.01) -> dict:
+    """Plan all 57 pipelines through every entry point; summarize parity."""
+    catalog, pipelines = _pipelines(scale)
+    engine = Engine(catalog)
+    legacy = HadadOptimizer(catalog)
+    session = PlanSession(catalog)
+
+    mismatched = []
+    engine_seconds = legacy_seconds = 0.0
+    for name, expr in pipelines:
+        via_engine = engine.rewrite(expr)
+        via_legacy = legacy.rewrite(expr)
+        via_session = session.rewrite(expr)
+        engine_seconds += via_engine.rewrite_seconds
+        legacy_seconds += via_legacy.rewrite_seconds
+        plans = {
+            via_engine.best.to_string(),
+            via_legacy.best.to_string(),
+            via_session.best.to_string(),
+        }
+        costs = {
+            round(via_engine.best_cost, 9),
+            round(via_legacy.best_cost, 9),
+            round(via_session.best_cost, 9),
+        }
+        if len(plans) != 1 or len(costs) != 1:
+            mismatched.append(name)
+
+    return {
+        "benchmark": "api_parity",
+        "scale": scale,
+        "pipelines": len(pipelines),
+        "byte_identical": not mismatched,
+        "mismatched": mismatched,
+        "engine_rwfind_seconds": engine_seconds,
+        "legacy_rwfind_seconds": legacy_seconds,
+    }
+
+
+def test_engine_plans_byte_identical_to_legacy_on_all_57_pipelines():
+    summary = measure()
+    assert summary["pipelines"] == 57
+    assert summary["byte_identical"], f"plans diverged on {summary['mismatched']}"
+
+
+def test_engine_facades_share_one_config_key():
+    """All three entry points key caches identically, so plans are shared."""
+    catalog, pipelines = _pipelines()
+    engine = Engine(catalog)
+    legacy = HadadOptimizer(catalog)
+    session = PlanSession(catalog)
+    _, expr = pipelines[0]
+    assert engine.config.cache_key() == legacy.config.cache_key()
+    assert legacy.session.cache_key(expr) == session.cache_key(expr)
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

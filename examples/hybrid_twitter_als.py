@@ -9,47 +9,62 @@ ultra-sparse N^T v is computed directly) and by pushing the rowSums through
 the product onto the normalized matrix, where the hybrid view
 V3 = rowSums(T) + K rowSums(U) answers it.
 
+The whole round trip — build the feature matrices, materialize the Morpheus
+factors, plan, execute — goes through ``Engine.submit_hybrid``; adding the
+hybrid views is one ``engine.with_views`` away.
+
 Run with:  python examples/hybrid_twitter_als.py
+(set REPRO_SMOKE=1 for the CI-sized dataset)
 """
 
+import os
+
+from repro.api import Engine
 from repro.backends.base import values_allclose
 from repro.benchkit.harness import materialize_views
 from repro.benchkit.hybrid_queries import hybrid_queries, hybrid_views
 from repro.data.datasets import twitter_dataset
-from repro.hybrid import HybridExecutor, HybridOptimizer
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
-    catalog, spec = twitter_dataset(n_tweets=10_000, n_hashtags=400, density=0.002)
+    catalog, spec = twitter_dataset(
+        n_tweets=2_000 if SMOKE else 10_000,
+        n_hashtags=100 if SMOKE else 400,
+        density=0.002,
+    )
     queries = hybrid_queries(catalog, spec, dataset="twitter")
     q1 = queries[0]
 
-    executor = HybridExecutor(catalog)
-    # Q_RA: build M (join) and N (filtered pivot) once.
-    preprocessing = executor.execute(q1)
-    print(f"Q_RA preprocessing: {preprocessing.ra_seconds * 1e3:.1f} ms")
+    # Without views: Q_RA (join + pivot builders) runs, the Morpheus factors
+    # of Mfeat are materialized, and the LA analysis is rewritten with the
+    # algebraic properties alone.
+    engine = Engine(catalog)
+    baseline = engine.submit_hybrid(q1)
+    assert baseline.hybrid is not None
+    print(f"Q_RA preprocessing: {baseline.hybrid.ra_seconds * 1e3:.1f} ms")
+    print("original  Q_LA:", q1.analysis.to_string())
+    print("baseline  plan:", baseline.rewrite.best.to_string())
 
-    # Declare the Morpheus factors of M and materialize the hybrid views.
-    optimizer = HybridOptimizer(catalog)
-    optimizer.ensure_factor_matrices(q1)
+    # With the hybrid views V3/V4/V5 over the factor matrices: the rowSums
+    # pushdown now lands on a materialized answer.
     views = hybrid_views(catalog)
     materialize_views(views, catalog)
-    optimizer = HybridOptimizer(catalog, la_views=views)
+    viewed = engine.with_views(views)
+    optimized = viewed.submit_hybrid(q1)
+    assert optimized.hybrid is not None
+    print("rewritten Q_LA:", optimized.rewrite.best.to_string())
+    print("used views    :", optimized.rewrite.used_views)
+    print(f"rewriting took {optimized.plan_seconds * 1e3:.1f} ms")
 
-    result = optimizer.rewrite(q1)
-    print("original  Q_LA:", q1.analysis.to_string())
-    print("rewritten Q_LA:", result.optimized_analysis.to_string())
-    print(f"rewriting took {result.rewrite_seconds * 1e3:.1f} ms")
-
-    original = executor.execute(q1, skip_builders=True)
-    optimized = executor.execute(
-        q1, analysis_override=result.optimized_analysis, skip_builders=True
-    )
-    assert values_allclose(original.value, optimized.value, rtol=1e-4, atol=1e-5)
-    speedup = original.la_seconds / optimized.la_seconds if optimized.la_seconds else float("inf")
+    assert values_allclose(baseline.value, optimized.value, rtol=1e-4, atol=1e-5)
+    base_la = baseline.hybrid.la_seconds
+    opt_la = optimized.hybrid.la_seconds
+    speedup = base_la / opt_la if opt_la else float("inf")
     print(
-        f"Q_LA execution: original {original.la_seconds * 1e3:.1f} ms, "
-        f"rewritten {optimized.la_seconds * 1e3:.1f} ms ({speedup:.1f}x)"
+        f"Q_LA execution: baseline {base_la * 1e3:.1f} ms, "
+        f"with views {opt_la * 1e3:.1f} ms ({speedup:.1f}x)"
     )
 
 

@@ -6,22 +6,35 @@ pushes the multiplication by N into the factors; HADAD instead rewrites the
 pipeline to colSums(M) N, after which Morpheus' colSums pushdown applies and
 the intermediate shrinks from (rows x 40) to (1 x features).
 
+Planning and execution both go through one :class:`repro.api.Engine`; the
+Morpheus substrate comes from the engine's capability-declaring registry
+(``supports_factorized``), and ``engine.execute(..., backend="morpheus")``
+routes to it explicitly.
+
 Run with:  python examples/morpheus_factorized.py
+(set REPRO_SMOKE=1 for the CI-sized data)
 """
+
+import os
 
 import numpy as np
 from scipy import sparse
 
-from repro.backends import MorpheusBackend, NormalizedMatrix
+from repro.api import Engine
+from repro.backends import NormalizedMatrix
 from repro.backends.base import values_allclose
-from repro.core import HadadOptimizer
 from repro.data import Catalog
 from repro.lang import colsums, matrix
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
     rng = np.random.default_rng(1)
-    n_entities, n_attributes, d_s, d_r = 200_000, 20_000, 6, 14
+    if SMOKE:
+        n_entities, n_attributes, d_s, d_r = 20_000, 2_000, 6, 14
+    else:
+        n_entities, n_attributes, d_s, d_r = 200_000, 20_000, 6, 14
     entity = rng.random((n_entities, d_s))
     attribute = rng.random((n_attributes, d_r))
     fk = rng.integers(0, n_attributes, size=n_entities)
@@ -32,22 +45,25 @@ def main() -> None:
     catalog = Catalog()
     catalog.register_dense("Mjoin", np.hstack([entity, indicator @ attribute]))
     catalog.register_dense("Nright", rng.random((d_s + d_r, 40)))
-    backend = MorpheusBackend(catalog)
-    backend.register(NormalizedMatrix("Mjoin", entity, indicator, attribute))
+
+    engine = Engine(catalog)
+    assert engine.registry.capabilities("morpheus").supports_factorized
+    morpheus = engine.router.backends["morpheus"]
+    morpheus.register(NormalizedMatrix("Mjoin", entity, indicator, attribute))
 
     pipeline = colsums(matrix("Mjoin") @ matrix("Nright"))
-    optimizer = HadadOptimizer(catalog)
-    result = optimizer.rewrite(pipeline)
+    result = engine.rewrite(pipeline)
     print("original :", pipeline.to_string())
     print("rewritten:", result.best.to_string())
 
-    base = backend.timed(pipeline)
-    improved = backend.timed(result.best)
-    assert values_allclose(base.value, improved.value, rtol=1e-6, atol=1e-8)
+    base = engine.execute(pipeline, backend="morpheus")
+    improved = engine.execute(result, backend="morpheus")
+    assert base.backend == improved.backend == "morpheus"
+    assert values_allclose(base.evaluation.value, improved.evaluation.value, rtol=1e-6, atol=1e-8)
     print(
-        f"Morpheus alone      : {base.seconds * 1e3:8.1f} ms\n"
-        f"Morpheus + HADAD    : {improved.seconds * 1e3:8.1f} ms\n"
-        f"speed-up            : {base.seconds / improved.seconds:8.1f}x"
+        f"Morpheus alone      : {base.evaluation.seconds * 1e3:8.1f} ms\n"
+        f"Morpheus + HADAD    : {improved.evaluation.seconds * 1e3:8.1f} ms\n"
+        f"speed-up            : {base.evaluation.seconds / improved.evaluation.seconds:8.1f}x"
     )
 
 

@@ -1,56 +1,64 @@
-"""Quickstart: rewrite and execute an LA pipeline with HADAD.
+"""Quickstart: rewrite and execute an LA pipeline through the unified Engine.
 
 Builds a small catalog of synthetic matrices, defines the OLS regression
 pipeline (X^T X)^{-1} (X^T y), lets HADAD rewrite it — once without views and
-once with a materialized view V = X^{-1} — and executes both versions on the
-as-stated NumPy backend to show they agree and how much time the rewriting
-saves.
+once with a materialized view V = X^{-1} — and executes both versions through
+``engine.execute`` to show they agree and how much time the rewriting saves.
 
 Run with:  python examples/quickstart.py
+(set REPRO_SMOKE=1 for the CI-sized catalog)
 """
+
+import os
 
 import numpy as np
 
-from repro import Catalog, HadadOptimizer, LAView
-from repro.backends import NumpyBackend
+from repro import Catalog, LAView
+from repro.api import Engine
 from repro.backends.base import values_allclose
 from repro.benchkit.harness import materialize_views
 from repro.lang import inv, matrix, transpose
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
     catalog = Catalog()
-    n = 600
+    n = 120 if SMOKE else 600
     catalog.register_dense("X", rng.random((n, n)) + n * np.eye(n))
     catalog.register_dense("y", rng.random((n, 1)))
 
     X, y = matrix("X"), matrix("y")
     ols = inv(transpose(X) @ X) @ (transpose(X) @ y)
-    backend = NumpyBackend(catalog)
 
     # 1. Pure LA-property rewriting (no views available).
-    optimizer = HadadOptimizer(catalog)
-    result = optimizer.rewrite(ols)
+    engine = Engine(catalog)
+    result = engine.rewrite(ols)
     print("original :", result.original.to_string())
     print("rewritten:", result.best.to_string())
     print(result.summary())
 
     # 2. With a materialized view V = X^{-1} (Figure 7(b) of the paper).
     view = LAView("V_xinv", inv(X))
-    with_view = HadadOptimizer(catalog, views=[view])
+    with_view = engine.with_views([view])
     materialize_views([view], catalog)
     view_result = with_view.rewrite(ols)
     print("\nwith view:", view_result.best.to_string(), "(uses", view_result.used_views, ")")
 
-    # 3. Execute and compare.
-    original_run = backend.timed(ols)
-    rewritten_run = backend.timed(view_result.best)
-    assert values_allclose(original_run.value, rewritten_run.value, rtol=1e-6, atol=1e-8)
+    # 3. Execute and compare — the engine routes both runs to a capable backend.
+    original_run = with_view.execute(ols)
+    rewritten_run = with_view.execute(view_result)
+    assert values_allclose(
+        original_run.evaluation.value, rewritten_run.evaluation.value, rtol=1e-6, atol=1e-8
+    )
+    seconds_original = original_run.evaluation.seconds
+    seconds_rewritten = max(rewritten_run.evaluation.seconds, 1e-9)
     print(
-        f"\nexecution: original {original_run.seconds * 1e3:.1f} ms, "
-        f"rewritten {rewritten_run.seconds * 1e3:.1f} ms, "
-        f"speed-up {original_run.seconds / rewritten_run.seconds:.1f}x"
+        f"\nexecution on {rewritten_run.backend}: "
+        f"original {seconds_original * 1e3:.1f} ms, "
+        f"rewritten {seconds_rewritten * 1e3:.1f} ms, "
+        f"speed-up {seconds_original / seconds_rewritten:.1f}x"
     )
 
 

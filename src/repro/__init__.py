@@ -13,17 +13,23 @@ Rewriting runs as a staged planner pipeline (encode â†’ saturate â†’ annotate â†
 extract â†’ post-optimize) driven by :class:`repro.planner.PlanSession`, which
 owns the long-lived state: the constraint set compiled once into an indexed
 program, the saturation engine, and a fingerprint-keyed rewrite cache.
-:class:`HadadOptimizer` is the stable faÃ§ade over a session.
 
-On top of the planner sits the service layer (:mod:`repro.service`):
-:class:`AnalyticsService` plans concurrently on a
+The public entry point is :class:`repro.api.Engine`: one typed object over
+the planner (``engine.rewrite``), the concurrent service layer
+(``engine.submit_many``; :mod:`repro.service` plans on a
 :class:`~repro.service.PlanSessionPool` and routes finished plans to the
-execution backends through an :class:`~repro.service.ExecutionRouter`,
-answering with per-phase (queue / plan / execute) timings.
+execution backends through a capability-negotiated
+:class:`~repro.service.ExecutionRouter`), the execution substrates
+(``engine.execute``) and the asyncio serving gateway
+(``await engine.serve()``).  Options travel as frozen, validated config
+dataclasses (:class:`EngineConfig` and friends).  The historical entry
+points â€” :class:`HadadOptimizer`, ``HybridOptimizer``,
+:class:`AnalyticsService`, ``AnalyticsGateway`` â€” remain as
+behavior-preserving deprecation shims.
 
 Quick start::
 
-    from repro import HadadOptimizer, LAView
+    from repro import Engine, LAView
     from repro.lang import matrix, inv, transpose
     from repro.data.generators import standard_catalog
 
@@ -31,8 +37,8 @@ Quick start::
     X, y = matrix("Syn5"), matrix("Syn7")
     ols = inv(transpose(X) @ X) @ (transpose(X) @ y)
 
-    optimizer = HadadOptimizer(catalog, views=[LAView("V1", inv(X))])
-    result = optimizer.rewrite(ols)
+    engine = Engine(catalog, views=[LAView("V1", inv(X))])
+    result = engine.rewrite(ols)
     print(result.summary())
 
 See README.md for the architecture overview, ``docs/architecture.md`` for
@@ -51,10 +57,28 @@ from repro.service import (
     ServiceRequest,
     ServiceResult,
 )
+from repro.api import (
+    BackendCapabilities,
+    BackendRegistry,
+    ConfigError,
+    Engine,
+    EngineConfig,
+    GatewayConfig,
+    PlannerConfig,
+    ServiceConfig,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Engine",
+    "EngineConfig",
+    "PlannerConfig",
+    "ServiceConfig",
+    "GatewayConfig",
+    "BackendRegistry",
+    "BackendCapabilities",
+    "ConfigError",
     "HadadOptimizer",
     "LAView",
     "PlanSession",

@@ -1,0 +1,78 @@
+"""Deprecation machinery for the pre-``repro.api`` entry points.
+
+Since the :class:`repro.api.Engine` consolidation, the four historical front
+doors — ``HadadOptimizer``, ``HybridOptimizer``, ``AnalyticsService`` and
+``AnalyticsGateway`` — are kept as behavior-preserving shims over the same
+config-driven core the engine drives.  Constructing one directly emits a
+:class:`DeprecationWarning` **once per entry point per process** (a migration
+nudge, not a log flood); the engine itself builds the very same classes
+internally under :func:`suppress_legacy_warnings`, so going through the new
+API never warns.
+
+This module is deliberately dependency-free (stdlib only): it is imported by
+``repro.core``, ``repro.service``, ``repro.hybrid`` and ``repro.server``
+alike, and must never participate in an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Set
+
+#: Entry points that have already warned in this process.
+_warned: Set[str] = set()
+_lock = threading.Lock()
+_suppressed = threading.local()
+
+
+def warn_legacy_entry_point(name: str, replacement: str) -> None:
+    """Emit the once-per-process deprecation warning for ``name``.
+
+    ``replacement`` names the :mod:`repro.api` surface to migrate to; the
+    docs' migration guide (``docs/api.md``) is referenced so the warning is
+    actionable on its own.
+    """
+    if getattr(_suppressed, "depth", 0) > 0:
+        return
+    with _lock:
+        if name in _warned:
+            return
+        _warned.add(name)
+    warnings.warn(
+        f"{name} is a legacy entry point kept for compatibility; use "
+        f"{replacement} instead (see the migration guide in docs/api.md). "
+        f"This warning is shown once per process.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@contextmanager
+def suppress_legacy_warnings() -> Iterator[None]:
+    """Context manager under which legacy constructors do not warn.
+
+    Used by :class:`repro.api.Engine` (and the benchmark harness) when it
+    instantiates the legacy classes as internal building blocks.  Re-entrant
+    and thread-local: suppression on one thread never hides a user's direct
+    construction on another.
+    """
+    _suppressed.depth = getattr(_suppressed, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _suppressed.depth -= 1
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which entry points already warned (test isolation helper)."""
+    with _lock:
+        _warned.clear()
+
+
+__all__ = [
+    "reset_legacy_warnings",
+    "suppress_legacy_warnings",
+    "warn_legacy_entry_point",
+]

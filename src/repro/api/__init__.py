@@ -1,0 +1,64 @@
+"""``repro.api`` — the single typed entry point over the whole stack.
+
+One :class:`Engine` replaces the four historical front doors
+(``HadadOptimizer``, ``HybridOptimizer``, ``AnalyticsService``,
+``AnalyticsGateway``), which remain as behavior-preserving deprecation
+shims.  Options travel as frozen, validated dataclasses
+(:class:`~repro.config.PlannerConfig` / :class:`~repro.config.ServiceConfig`
+/ :class:`~repro.config.GatewayConfig`, composed by
+:class:`~repro.config.EngineConfig`); execution substrates are declared to
+a capability-negotiating :class:`~repro.backends.registry.BackendRegistry`;
+and the gateway wire format is generated from the typed
+:class:`~repro.api.schema.PlanRequest` / :class:`~repro.api.schema.PlanResponse`
+schema shared with :mod:`repro.server.protocol`.
+
+Quick start::
+
+    from repro.api import Engine, EngineConfig
+
+    engine = Engine(catalog, config=EngineConfig(planner={"max_rounds": 4}))
+    result = engine.rewrite(expr)             # plan (pooled, cached)
+    routed = engine.execute(result)           # run it on a capable backend
+    answers = engine.submit_many(batch)       # concurrent service path
+    gateway = await engine.serve()            # asyncio HTTP front door
+
+See ``docs/api.md`` for the full reference and the migration guide from
+the legacy entry points.
+"""
+
+from repro.backends.registry import BackendCapabilities, BackendRegistry
+from repro.config import (
+    DEFAULT_BACKENDS,
+    EngineConfig,
+    GatewayConfig,
+    PlannerConfig,
+    ServiceConfig,
+)
+from repro.exceptions import ConfigError
+from repro.api.engine import Engine
+from repro.api.schema import (
+    PhaseTimings,
+    PlanRequest,
+    PlanResponse,
+    ProtocolError,
+    expr_from_json,
+    expr_to_json,
+)
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendRegistry",
+    "ConfigError",
+    "DEFAULT_BACKENDS",
+    "Engine",
+    "EngineConfig",
+    "GatewayConfig",
+    "PhaseTimings",
+    "PlanRequest",
+    "PlanResponse",
+    "PlannerConfig",
+    "ProtocolError",
+    "ServiceConfig",
+    "expr_from_json",
+    "expr_to_json",
+]

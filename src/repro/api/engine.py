@@ -1,0 +1,292 @@
+"""The unified front door: one typed, capability-negotiated ``Engine``.
+
+HADAD's pitch is a *single* lightweight optimizer any LA/RA/hybrid workload
+sits on top of; :class:`Engine` is that single object for this codebase.
+It offers the full ladder the four historical entry points used to split
+between them:
+
+====================================  =========================================
+``engine.rewrite(expr)``              synchronous planning over a pooled
+                                      session (the ``HadadOptimizer`` path)
+``engine.submit`` / ``submit_many``   the concurrent plan-and-execute service
+                                      path (``AnalyticsService``)
+``engine.submit_hybrid(query)``       hybrid RA+LA queries (``HybridOptimizer``
+                                      plus executor, behind the service)
+``engine.execute(plan, backend=...)`` route a finished plan to an execution
+                                      substrate via the capability-declaring
+                                      :class:`~repro.backends.registry.BackendRegistry`
+``await engine.serve()``              the asyncio gateway (``AnalyticsGateway``)
+                                      bound to this same engine
+====================================  =========================================
+
+Options flow exclusively through one frozen, validated
+:class:`~repro.config.EngineConfig` — there are no ad-hoc keyword knobs —
+and the same config object is threaded down unchanged, so every cache layer
+(session, pool, gateway batcher) keys on ``config.cache_key()`` and plans
+are byte-identical to the legacy paths by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro._compat import suppress_legacy_warnings
+from repro.backends.registry import BackendRegistry
+from repro.config import EngineConfig, GatewayConfig, PlannerConfig
+from repro.constraints.views import LAView
+from repro.core.result import RewriteResult
+from repro.data.catalog import Catalog
+from repro.exceptions import ConfigError
+from repro.lang import matrix_expr as mx
+from repro.planner.session import PlanSession
+from repro.service.pool import PlanSessionPool
+from repro.service.router import DefaultPolicy, ExecutionRouter, RoutedExecution
+from repro.service.service import AnalyticsService, RequestLike, ServiceRequest, ServiceResult
+
+
+def _coerce_engine_config(config: object) -> EngineConfig:
+    if config is None:
+        return EngineConfig()
+    if isinstance(config, EngineConfig):
+        return config
+    if isinstance(config, PlannerConfig):
+        return EngineConfig(planner=config)
+    if isinstance(config, Mapping):
+        known = {field.name for field in dataclasses.fields(EngineConfig)}
+        unknown = sorted({str(key) for key in config} - known)
+        if unknown:
+            raise ConfigError(
+                f"Engine config got unknown option(s) {unknown}; "
+                f"valid EngineConfig fields are {sorted(known)}"
+            )
+        return EngineConfig(**{str(key): value for key, value in config.items()})
+    raise ConfigError(
+        f"Engine config must be an EngineConfig, a PlannerConfig or a mapping "
+        f"of EngineConfig fields, got {config!r} (type {type(config).__name__})"
+    )
+
+
+class Engine:
+    """The one typed entry point over planner, service, backends and gateway.
+
+    Parameters
+    ----------
+    catalog:
+        The shared :class:`~repro.data.Catalog`.  Optional for plan-only
+        use (``rewrite`` / ``rewrite_all`` work without one); execution
+        and serving require it and fail with an actionable
+        :class:`~repro.exceptions.ConfigError` otherwise.
+    views:
+        Materialized LA views every pooled session plans with.
+    estimator:
+        Sparsity estimator for the cost model (default
+        :class:`~repro.cost.NaiveMetadataEstimator`).
+    config:
+        An :class:`~repro.config.EngineConfig` (or a
+        :class:`~repro.config.PlannerConfig`, or a mapping of
+        ``EngineConfig`` fields).  Validated — invalid values raise at
+        construction, not at first use.
+    registry:
+        A :class:`~repro.backends.registry.BackendRegistry`; by default the
+        stock substrates.  ``config.backends`` selects which registered
+        names this engine instantiates, and every name is checked against
+        the registry here.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        views: Sequence[LAView] = (),
+        estimator=None,
+        config: Union[EngineConfig, PlannerConfig, Mapping, None] = None,
+        registry: Optional[BackendRegistry] = None,
+    ):
+        self.config = _coerce_engine_config(config)
+        self.catalog = catalog
+        self.views = list(views)
+        self.estimator = estimator
+        self.registry = registry if registry is not None else BackendRegistry.with_defaults()
+        missing = [name for name in self.config.backends if name not in self.registry]
+        if missing:
+            raise ConfigError(
+                f"EngineConfig.backends names unregistered backend(s) {missing}; "
+                f"registered: {sorted(self.registry.names())}"
+            )
+        planner = self.config.planner
+        self.pool = PlanSessionPool(
+            lambda: PlanSession(
+                catalog=self.catalog,
+                views=self.views,
+                estimator=self.estimator,
+                config=planner,
+            ),
+            max_sessions=self.config.service.max_sessions,
+            result_cache_size=self.config.service.result_cache_size,
+        )
+        self._router: Optional[ExecutionRouter] = None
+        self._service: Optional[AnalyticsService] = None
+        #: The AnalyticsGateway once built; typed loosely because the
+        #: server package is imported lazily (``serve`` is optional).
+        self._gateway: Optional[Any] = None
+
+    # ------------------------------------------------------------------ wiring
+    def _require_catalog(self, what: str) -> Catalog:
+        if self.catalog is None:
+            raise ConfigError(
+                f"this Engine was built without a catalog, which {what} requires; "
+                f"construct it as Engine(catalog, ...) to execute or serve plans"
+            )
+        return self.catalog
+
+    @property
+    def router(self) -> ExecutionRouter:
+        """The capability-negotiated plan router (built on first use)."""
+        if self._router is None:
+            self._router = ExecutionRouter(
+                self._require_catalog("execution routing"),
+                registry=self.registry,
+                backend_names=self.config.backends,
+                policy=DefaultPolicy(self.config.service.preferred_backend),
+            )
+        return self._router
+
+    @property
+    def service(self) -> AnalyticsService:
+        """The concurrent service bound to this engine (built on first use)."""
+        if self._service is None:
+            catalog = self._require_catalog("the service path")
+            with suppress_legacy_warnings():
+                self._service = AnalyticsService(
+                    catalog,
+                    views=self.views,
+                    pool=self.pool,
+                    router=self.router,
+                    config=self.config.service,
+                )
+        return self._service
+
+    # ------------------------------------------------------------------ planning
+    def rewrite(self, expr: mx.Expr) -> RewriteResult:
+        """Find the minimum-cost equivalent of ``expr``.
+
+        Synchronous, thread-safe, and byte-identical to the legacy
+        ``HadadOptimizer.rewrite`` path: the pooled sessions are built from
+        the same :class:`~repro.config.PlannerConfig` the façade folds its
+        keywords into, and the pool's shared single-flight cache keys on
+        the config's :meth:`~repro.config.PlannerConfig.cache_key`.
+        """
+        return self.pool.plan(expr)
+
+    def rewrite_all(self, expressions: Iterable[mx.Expr]) -> List[RewriteResult]:
+        """Rewrite a batch, planning each distinct fingerprint exactly once."""
+        return [self.pool.plan(expr) for expr in expressions]
+
+    # ------------------------------------------------------------------ service path
+    def submit(self, item: RequestLike) -> ServiceResult:
+        """Plan (and execute, unless the request opts out) one request."""
+        return self.service.submit(item)
+
+    def submit_many(
+        self, items: Iterable[RequestLike], workers: Optional[int] = None
+    ) -> List[ServiceResult]:
+        """Plan a batch concurrently (``config.service.plan_workers`` wide)."""
+        return self.service.submit_many(items, workers=workers)
+
+    def submit_hybrid(self, query, execute: bool = True) -> ServiceResult:
+        """Route a hybrid RA+LA query through the service."""
+        return self.service.submit_hybrid(query, execute=execute)
+
+    # ------------------------------------------------------------------ execution
+    def execute(
+        self,
+        plan: Union[RewriteResult, mx.Expr],
+        backend: Optional[str] = None,
+        use_rewritten: bool = True,
+    ) -> RoutedExecution:
+        """Run a finished plan on an execution substrate.
+
+        ``plan`` is a :class:`RewriteResult` (typically from
+        :meth:`rewrite`) or a bare expression, which executes as-stated.
+        ``backend`` names a registered substrate to try first — the
+        capability-aware policy still falls back along LA-capable backends
+        on :class:`~repro.exceptions.ExecutionError`.
+        """
+        if isinstance(plan, mx.Expr):
+            plan = RewriteResult(
+                original=plan,
+                best=plan,
+                original_cost=float("nan"),
+                best_cost=float("nan"),
+                changed=False,
+                rewrite_seconds=0.0,
+                fingerprint=plan.fingerprint(),
+            )
+        if backend is not None and backend not in self.router.backends:
+            raise ConfigError(
+                f"unknown backend {backend!r}; this engine registered "
+                f"{sorted(self.router.backends)}"
+            )
+        request = (
+            ServiceRequest(expression=plan.original, backend=backend)
+            if backend is not None
+            else None
+        )
+        return self.router.execute(plan, request=request, use_rewritten=use_rewritten)
+
+    # ------------------------------------------------------------------ serving
+    def build_gateway(self, **overrides):
+        """The asyncio gateway over this engine's service (not yet started).
+
+        ``overrides`` patch individual :class:`~repro.config.GatewayConfig`
+        fields (validated); the result is cached, so :meth:`serve` and the
+        caller observe one gateway per engine.
+        """
+        if self._gateway is None:
+            from repro.server.gateway import AnalyticsGateway
+
+            gateway_config: GatewayConfig = (
+                self.config.gateway.with_options(**overrides)
+                if overrides
+                else self.config.gateway
+            )
+            service = self.service  # resolves the catalog requirement first
+            with suppress_legacy_warnings():
+                self._gateway = AnalyticsGateway(service, config=gateway_config)
+        elif overrides:
+            raise ConfigError(
+                "this engine already built its gateway; configure it via "
+                "EngineConfig.gateway (or build_gateway overrides) before first use"
+            )
+        return self._gateway
+
+    async def serve(self, **overrides):
+        """Start (and return) the gateway bound to this engine.
+
+        Usage::
+
+            gateway = await engine.serve()
+            ...
+            await gateway.stop()
+        """
+        gateway = self.build_gateway(**overrides)
+        await gateway.start()
+        return gateway
+
+    # ------------------------------------------------------------------ derivation
+    def with_views(self, views: Sequence[LAView]) -> "Engine":
+        """A new engine over the same catalog/config using another view set."""
+        return Engine(
+            catalog=self.catalog,
+            views=views,
+            estimator=self.estimator,
+            config=self.config,
+            registry=self.registry,
+        )
+
+    def stats_dict(self) -> dict:
+        """JSON-ready snapshot of the planning pool's counters."""
+        return self.pool.stats_dict()
+
+
+__all__ = ["Engine"]

@@ -27,17 +27,21 @@ plans (and falls back across backends on
 
 from repro.backends.base import Backend, EvaluationResult
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import BackendCapabilities, BackendRegistry, capabilities_of
 from repro.backends.systemml_like import SystemMLLikeBackend
 from repro.backends.morpheus import MorpheusBackend, NormalizedMatrix, factor_names
 from repro.backends.relational import RelationalEngine
 
 __all__ = [
     "Backend",
+    "BackendCapabilities",
+    "BackendRegistry",
     "EvaluationResult",
     "NumpyBackend",
     "SystemMLLikeBackend",
     "MorpheusBackend",
     "NormalizedMatrix",
+    "capabilities_of",
     "factor_names",
     "RelationalEngine",
 ]

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Optional, Union
 import numpy as np
 from scipy import sparse
 
+from repro.backends.registry import BackendCapabilities
 from repro.data.catalog import Catalog
 from repro.exceptions import ExecutionError
 from repro.lang import matrix_expr as mx
@@ -60,6 +61,10 @@ class Backend:
     """Base class: resolves leaves from a catalog and times evaluations."""
 
     name = "backend"
+    #: What this substrate can run; subclasses override the class attribute
+    #: (see :class:`repro.backends.registry.BackendCapabilities`).  Routing
+    #: consults the declaration instead of hardcoding backend names.
+    capabilities = BackendCapabilities()
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog

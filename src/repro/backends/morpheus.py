@@ -33,6 +33,7 @@ from scipy import sparse
 
 from repro.backends.base import EvaluationResult, Value, to_dense
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import BackendCapabilities
 from repro.exceptions import ExecutionError
 from repro.lang import matrix_expr as mx
 from repro.lang.visitor import matrix_ref_names
@@ -110,6 +111,7 @@ class MorpheusBackend(NumpyBackend):
     """
 
     name = "morpheus"
+    capabilities = BackendCapabilities(supports_la=True, supports_factorized=True)
 
     def __init__(self, catalog):
         super().__init__(catalog)

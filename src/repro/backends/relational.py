@@ -12,6 +12,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import BackendCapabilities
 from repro.data.catalog import Catalog
 from repro.data.table import Table
 from repro.exceptions import ExecutionError, TypeMismatchError
@@ -22,6 +23,9 @@ class RelationalEngine:
     """Evaluates :class:`~repro.lang.relational_expr.RelExpr` trees."""
 
     name = "relational"
+    #: RA only: never a fallback candidate for LA plans (``execute_plan``
+    #: refuses them); participates through the hybrid path instead.
+    capabilities = BackendCapabilities(supports_la=False, supports_ra=True)
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog

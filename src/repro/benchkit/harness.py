@@ -12,8 +12,9 @@ plus the estimated costs and a numerical-equivalence check of the two
 results (soundness in practice, not just on paper).
 
 The ``optimizer`` argument of :func:`run_pipeline` is anything exposing the
-``rewrite`` protocol — a :class:`~repro.core.optimizer.HadadOptimizer`
-façade or, preferably, a :class:`~repro.planner.PlanSession` directly.  For
+``rewrite`` protocol — preferably a :class:`repro.api.Engine` (or a
+:class:`~repro.planner.PlanSession`); the legacy
+:class:`~repro.core.optimizer.HadadOptimizer` façade still works.  For
 sweeps over many pipelines (the Fig. 5–12 loops), :func:`run_pipelines`
 plans the whole batch through ``rewrite_all`` so structurally identical
 pipelines are planned once and repeated runs hit the session cache.
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field
 from statistics import fmean
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import suppress_legacy_warnings
 from repro.backends.base import values_allclose
 from repro.backends.numpy_backend import NumpyBackend
 from repro.constraints.views import LAView
@@ -288,15 +290,19 @@ def run_gateway_sweep(
 
     async def run_point(window: float, concurrency: int) -> dict:
         service = service_factory()
-        gateway = AnalyticsGateway(
-            service,
-            host=host,
-            batch_window_seconds=window,
-            max_batch=max(2, concurrency),
-            max_in_flight=max_in_flight
-            if max_in_flight is not None
-            else max(concurrency * 2, 64),
-        )
+        # The gateway is an internal building block of the harness here,
+        # not a user-facing entry point; don't let its legacy-constructor
+        # warning fire at benchmark callers.
+        with suppress_legacy_warnings():
+            gateway = AnalyticsGateway(
+                service,
+                host=host,
+                batch_window_seconds=window,
+                max_batch=max(2, concurrency),
+                max_in_flight=max_in_flight
+                if max_in_flight is not None
+                else max(concurrency * 2, 64),
+            )
         await gateway.start()
         rejected = 0
         mismatched: List[str] = []

@@ -1,0 +1,295 @@
+"""Frozen, validated configuration for the whole stack.
+
+Since the :mod:`repro.api` consolidation these four dataclasses are the
+*only* way options flow through the layers:
+
+* :class:`PlannerConfig` — every knob of a
+  :class:`~repro.planner.session.PlanSession` (rule-set toggles, saturation
+  budgets, pruning, caching).  ``HadadOptimizer``'s historical keyword soup
+  and mutable properties are a façade over exactly these fields.
+* :class:`ServiceConfig` — the :class:`~repro.service.AnalyticsService`
+  knobs: pool size, shared-result-cache capacity, batch fan-out, routing
+  preference.
+* :class:`GatewayConfig` — the :class:`~repro.server.AnalyticsGateway`
+  knobs: bind address, admission bound, micro-batching window, backlog.
+* :class:`EngineConfig` — the composition of the three, plus the named
+  execution backends to register, consumed by :class:`repro.api.Engine`.
+
+Every config is **frozen** (mutation raises) and **validated at
+construction**: a bad value raises :class:`~repro.exceptions.ConfigError`
+naming the field, the value received and the acceptable range — the
+misconfiguration surfaces where it was written, not two layers down.
+
+Configs are threaded through the stack *unchanged*, so caches can key on
+them: :meth:`PlannerConfig.cache_key` is a stable, hashable tuple of every
+plan-affecting field, and it is a component of the planner's rewrite-cache
+key (mutating a legacy façade property therefore re-keys cached plans
+instead of serving stale ones).
+
+This module is import-neutral (stdlib + :mod:`repro.exceptions` only); the
+planner, service and server layers all import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigError
+
+#: The stock execution substrates, in the registration order of
+#: :meth:`repro.backends.registry.BackendRegistry.with_defaults`.
+DEFAULT_BACKENDS: Tuple[str, ...] = ("numpy", "systemml_like", "morpheus", "relational")
+
+
+def _require_bool(config: str, name: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigError(
+            f"{config}.{name} must be a bool, got {value!r} "
+            f"(type {type(value).__name__})"
+        )
+    return value
+
+
+def _require_int(
+    config: str, name: str, value: Any, minimum: int, maximum: Optional[int] = None
+) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"{config}.{name} must be an int, got {value!r} "
+            f"(type {type(value).__name__})"
+        )
+    if value < minimum or (maximum is not None and value > maximum):
+        bound = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+        raise ConfigError(f"{config}.{name} must be {bound}, got {value}")
+    return value
+
+
+def _require_float(config: str, name: str, value: Any, minimum: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"{config}.{name} must be a number, got {value!r} "
+            f"(type {type(value).__name__})"
+        )
+    if value < minimum:
+        raise ConfigError(f"{config}.{name} must be >= {minimum}, got {value}")
+    return float(value)
+
+
+def _require_str(config: str, name: str, value: Any) -> str:
+    if not isinstance(value, str) or not value:
+        raise ConfigError(
+            f"{config}.{name} must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+def _normalized_matrix_items(
+    config: str, value: Any
+) -> Tuple[Tuple[str, Tuple[str, str, str]], ...]:
+    """Coerce a ``{name: (S, K, R)}`` mapping (or item tuple) to sorted items."""
+    if value is None:
+        return ()
+    items = value.items() if isinstance(value, Mapping) else value
+    try:
+        normalized = tuple(
+            sorted((str(name), (str(s), str(k), str(r))) for name, (s, k, r) in items)
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"{config}.normalized_matrices must map matrix names to (S, K, R) "
+            f"factor-name triples, got {value!r}"
+        ) from exc
+    return normalized
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Every plan-affecting knob of a :class:`~repro.planner.PlanSession`.
+
+    Defaults reproduce the historical ``HadadOptimizer()`` behaviour
+    exactly, so ``PlannerConfig()`` plans byte-identically to the legacy
+    path.
+    """
+
+    include_decompositions: bool = False
+    include_systemml_rules: bool = True
+    include_morpheus_rules: bool = False
+    include_view_voi: bool = True
+    max_rounds: int = 4
+    max_atoms: int = 2_500
+    max_classes: int = 1_200
+    prune: bool = True
+    reorder_matmul_chains: bool = True
+    alternatives_limit: int = 6
+    normalized_matrices: Tuple[Tuple[str, Tuple[str, str, str]], ...] = ()
+    cache_size: int = 256
+    enable_cache: bool = True
+    use_constraint_index: bool = True
+    tighten_thresholds: bool = True
+
+    def __post_init__(self) -> None:
+        name = type(self).__name__
+        for flag in (
+            "include_decompositions",
+            "include_systemml_rules",
+            "include_morpheus_rules",
+            "include_view_voi",
+            "prune",
+            "reorder_matmul_chains",
+            "enable_cache",
+            "use_constraint_index",
+            "tighten_thresholds",
+        ):
+            _require_bool(name, flag, getattr(self, flag))
+        _require_int(name, "max_rounds", self.max_rounds, 1)
+        _require_int(name, "max_atoms", self.max_atoms, 1)
+        _require_int(name, "max_classes", self.max_classes, 1)
+        _require_int(name, "alternatives_limit", self.alternatives_limit, 0)
+        _require_int(name, "cache_size", self.cache_size, 1)
+        object.__setattr__(
+            self,
+            "normalized_matrices",
+            _normalized_matrix_items(name, self.normalized_matrices),
+        )
+
+    def cache_key(self) -> Tuple:
+        """A stable, hashable tuple of every plan-affecting field.
+
+        This is the options component of the planner's rewrite-cache key:
+        two sessions (or one session before and after reconfiguration)
+        share cached plans only when these tuples are equal.
+        """
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def session_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for the :class:`~repro.planner.PlanSession`
+        constructor (the dict-shaped view of the normalized matrices)."""
+        kwargs = {f.name: getattr(self, f.name) for f in fields(self)}
+        kwargs["normalized_matrices"] = dict(self.normalized_matrices)
+        return kwargs
+
+    def with_options(self, **changes: Any) -> "PlannerConfig":
+        """A validated copy with ``changes`` applied (configs are frozen)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the concurrent :class:`~repro.service.AnalyticsService`."""
+
+    max_sessions: int = 8
+    result_cache_size: int = 1024
+    plan_workers: int = 8
+    preferred_backend: str = "numpy"
+
+    def __post_init__(self) -> None:
+        name = type(self).__name__
+        _require_int(name, "max_sessions", self.max_sessions, 1)
+        _require_int(name, "result_cache_size", self.result_cache_size, 1)
+        _require_int(name, "plan_workers", self.plan_workers, 1)
+        _require_str(name, "preferred_backend", self.preferred_backend)
+
+    def with_options(self, **changes: Any) -> "ServiceConfig":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the asyncio :class:`~repro.server.AnalyticsGateway`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_in_flight: int = 256
+    batch_window_seconds: float = 0.005
+    max_batch: int = 128
+    plan_workers: int = 8
+    backlog: int = 2048
+
+    def __post_init__(self) -> None:
+        name = type(self).__name__
+        _require_str(name, "host", self.host)
+        _require_int(name, "port", self.port, 0, 65_535)
+        _require_int(name, "max_in_flight", self.max_in_flight, 1)
+        object.__setattr__(
+            self,
+            "batch_window_seconds",
+            _require_float(name, "batch_window_seconds", self.batch_window_seconds, 0.0),
+        )
+        _require_int(name, "max_batch", self.max_batch, 1)
+        _require_int(name, "plan_workers", self.plan_workers, 1)
+        _require_int(name, "backlog", self.backlog, 1)
+
+    def with_options(self, **changes: Any) -> "GatewayConfig":
+        return replace(self, **changes)
+
+
+def _coerce(config: str, name: str, value: Any, cls: type) -> Any:
+    """Accept a sub-config instance or a plain mapping of its fields."""
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, Mapping):
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(value) - known)
+        if unknown:
+            raise ConfigError(
+                f"{config}.{name} got unknown option(s) {unknown}; "
+                f"valid {cls.__name__} fields are {sorted(known)}"
+            )
+        return cls(**value)
+    raise ConfigError(
+        f"{config}.{name} must be a {cls.__name__} (or a mapping of its "
+        f"fields), got {value!r} (type {type(value).__name__})"
+    )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The single configuration object a :class:`repro.api.Engine` consumes.
+
+    Composes the per-layer configs and names the execution backends to
+    register (each must be known to the engine's
+    :class:`~repro.backends.registry.BackendRegistry`).  Sub-configs may be
+    given as plain mappings and are validated on coercion::
+
+        EngineConfig(planner={"max_rounds": 6}, service={"max_sessions": 2})
+    """
+
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    backends: Tuple[str, ...] = DEFAULT_BACKENDS
+
+    def __post_init__(self) -> None:
+        name = type(self).__name__
+        object.__setattr__(self, "planner", _coerce(name, "planner", self.planner, PlannerConfig))
+        object.__setattr__(self, "service", _coerce(name, "service", self.service, ServiceConfig))
+        object.__setattr__(self, "gateway", _coerce(name, "gateway", self.gateway, GatewayConfig))
+        backends = self.backends
+        if isinstance(backends, str) or not isinstance(backends, (tuple, list)):
+            raise ConfigError(
+                f"{name}.backends must be a tuple of backend names, got {backends!r}"
+            )
+        if not backends:
+            raise ConfigError(f"{name}.backends must name at least one backend")
+        for item in backends:
+            _require_str(name, "backends[...]", item)
+        if len(set(backends)) != len(backends):
+            raise ConfigError(f"{name}.backends contains duplicates: {backends!r}")
+        object.__setattr__(self, "backends", tuple(backends))
+
+    def cache_key(self) -> Tuple:
+        """The plan-affecting key: service/gateway knobs never change plans."""
+        return self.planner.cache_key()
+
+    def with_options(self, **changes: Any) -> "EngineConfig":
+        return replace(self, **changes)
+
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "EngineConfig",
+    "GatewayConfig",
+    "PlannerConfig",
+    "ServiceConfig",
+]

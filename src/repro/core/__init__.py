@@ -12,9 +12,10 @@ The optimizer realises the end-to-end reduction of Figure 1:
 4. the chosen derivation is decoded back into an LA expression
    (:mod:`repro.vrem.decoder`) that any backend can execute unchanged.
 
-The public entry point is :class:`repro.core.optimizer.HadadOptimizer`, a
-thin façade over the staged :class:`repro.planner.PlanSession`, which owns
-the long-lived state (compiled constraint program, saturation engine,
+The public entry point is :class:`repro.api.Engine`;
+:class:`repro.core.optimizer.HadadOptimizer` remains as a deprecated thin
+façade over the staged :class:`repro.planner.PlanSession`, which owns the
+long-lived state (compiled constraint program, saturation engine,
 fingerprint-keyed rewrite cache).
 """
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro._compat import warn_legacy_entry_point
+from repro.config import PlannerConfig
 from repro.constraints.core import Constraint
 from repro.constraints.views import LAView
 from repro.core.result import RewriteResult
@@ -36,7 +38,16 @@ from repro.planner.session import PlanSession
 
 
 class HadadOptimizer:
-    """Cost-based semantic rewriting of LA / hybrid-LA expressions."""
+    """Cost-based semantic rewriting of LA / hybrid-LA expressions.
+
+    .. deprecated::
+        ``HadadOptimizer`` is a legacy entry point; new code should use
+        :class:`repro.api.Engine` (``engine.rewrite(expr)``), which drives
+        the same :class:`~repro.planner.PlanSession` core through a frozen
+        :class:`~repro.config.PlannerConfig` and produces byte-identical
+        plans.  Constructing one emits a :class:`DeprecationWarning` once
+        per process.
+    """
 
     def __init__(
         self,
@@ -56,7 +67,12 @@ class HadadOptimizer:
         alternatives_limit: int = 6,
         normalized_matrices: Optional[Dict[str, Tuple[str, str, str]]] = None,
         enable_cache: bool = True,
+        config: Optional[PlannerConfig] = None,
     ):
+        warn_legacy_entry_point("HadadOptimizer", "repro.api.Engine")
+        # The session folds the keyword knobs into one validated
+        # PlannerConfig itself (and an explicit ``config`` wins there), so
+        # the façade forwards rather than duplicating that fold.
         self.session = PlanSession(
             catalog=catalog,
             views=views,
@@ -74,13 +90,24 @@ class HadadOptimizer:
             alternatives_limit=alternatives_limit,
             normalized_matrices=normalized_matrices,
             enable_cache=enable_cache,
+            config=config,
         )
+
+    @property
+    def config(self) -> PlannerConfig:
+        """The live options as a frozen :class:`PlannerConfig` snapshot."""
+        return self.session.current_config()
 
     # ------------------------------------------------------------------ session state
     # The historical attribute surface, delegated to the owning session.
     # Setters keep post-construction assignment working the way it did on
-    # the monolithic optimizer; each one drops cached plans, since the cache
-    # key does not cover these knobs.
+    # the monolithic optimizer.  Correctness no longer depends on them:
+    # every tunable option exposed here (budgets, prune, chain reordering,
+    # alternatives limit, estimator) is read live by the session's rewrite
+    # and is part of its cache key (PlanSession.options_key), so mutation —
+    # through these setters or directly on the session — both takes effect
+    # and re-keys cached plans.  The explicit invalidate() calls are kept
+    # to release memory promptly.
     @property
     def catalog(self) -> Optional[Catalog]:
         return self.session.catalog

@@ -69,3 +69,11 @@ class CatalogError(ReproError):
 class ViewError(ReproError):
     """Raised when a materialized view definition is invalid (unnamed,
     non-materializable, or its definition fails shape checking)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when a :mod:`repro.config` dataclass is constructed with an
+    invalid value.  The message always names the offending field, the value
+    received and what would have been acceptable, so a misconfigured
+    :class:`repro.api.Engine` fails at construction — not two layers down
+    inside the planner or the gateway."""

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro._compat import warn_legacy_entry_point
 from repro.backends.morpheus import factor_names
 from repro.backends.relational import RelationalEngine
 from repro.constraints.views import LAView
@@ -55,7 +56,13 @@ class HybridRewriteResult:
 
 
 class HybridOptimizer:
-    """Optimizes hybrid queries (both their RA and LA parts)."""
+    """Optimizes hybrid queries (both their RA and LA parts).
+
+    .. deprecated::
+        Direct construction is a legacy entry point; route hybrid queries
+        through :meth:`repro.api.Engine.submit_hybrid`, which drives this
+        same optimizer (and the executor) behind one front door.
+    """
 
     def __init__(
         self,
@@ -82,6 +89,7 @@ class HybridOptimizer:
             derived automatically for :class:`JoinFeatureMatrix` builders
             whose factor matrices are registered in the catalog.
         """
+        warn_legacy_entry_point("HybridOptimizer", "repro.api.Engine.submit_hybrid")
         self.catalog = catalog
         self.la_views = list(la_views)
         self.relational_view_tables = dict(relational_view_tables or {})

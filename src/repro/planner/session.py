@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chase.program import ConstraintProgram
 from repro.chase.saturation import SaturationEngine
+from repro.config import PlannerConfig
 from repro.constraints import default_constraints
 from repro.constraints.core import Constraint
 from repro.constraints.views import LAView, constraints_for_views
@@ -72,7 +73,46 @@ class PlanSession:
         use_constraint_index: bool = True,
         tighten_thresholds: bool = True,
         stages: Optional[Sequence[Stage]] = None,
+        config: Optional[PlannerConfig] = None,
     ):
+        # Options always travel as one validated, frozen PlannerConfig —
+        # the legacy keyword arguments are folded into one (and validated
+        # by it) when no config is given, so both construction paths share
+        # a single source of truth.  ``config``, when provided, wins.
+        if config is None:
+            config = PlannerConfig(
+                include_decompositions=include_decompositions,
+                include_systemml_rules=include_systemml_rules,
+                include_morpheus_rules=include_morpheus_rules,
+                include_view_voi=include_view_voi,
+                max_rounds=max_rounds,
+                max_atoms=max_atoms,
+                max_classes=max_classes,
+                prune=prune,
+                reorder_matmul_chains=reorder_matmul_chains,
+                alternatives_limit=alternatives_limit,
+                normalized_matrices=normalized_matrices or {},
+                cache_size=cache_size,
+                enable_cache=enable_cache,
+                use_constraint_index=use_constraint_index,
+                tighten_thresholds=tighten_thresholds,
+            )
+        options = config.session_kwargs()
+        include_decompositions = options["include_decompositions"]
+        include_systemml_rules = options["include_systemml_rules"]
+        include_morpheus_rules = options["include_morpheus_rules"]
+        include_view_voi = options["include_view_voi"]
+        max_rounds = options["max_rounds"]
+        max_atoms = options["max_atoms"]
+        max_classes = options["max_classes"]
+        prune = options["prune"]
+        reorder_matmul_chains = options["reorder_matmul_chains"]
+        alternatives_limit = options["alternatives_limit"]
+        cache_size = options["cache_size"]
+        enable_cache = options["enable_cache"]
+        use_constraint_index = options["use_constraint_index"]
+        tighten_thresholds = options["tighten_thresholds"]
+
         self.catalog = catalog
         self.views = list(views)
         self.estimator = estimator if estimator is not None else NaiveMetadataEstimator()
@@ -82,7 +122,7 @@ class PlanSession:
         self.include_systemml_rules = include_systemml_rules
         self.include_morpheus_rules = include_morpheus_rules
         self.include_view_voi = include_view_voi
-        self.normalized_matrices = dict(normalized_matrices or {})
+        self.normalized_matrices = dict(options["normalized_matrices"])
         if constraints is None:
             constraints = default_constraints(
                 include_decompositions=include_decompositions,
@@ -115,6 +155,17 @@ class PlanSession:
         self.stages: Tuple[Stage, ...] = tuple(stages) if stages is not None else DEFAULT_STAGES
         self.enable_cache = enable_cache
         self.cache = RewriteCache(cache_size)
+        #: The construction-time half of :meth:`options_key`, frozen here:
+        #: these options are baked into the compiled constraint program and
+        #: cannot take effect through attribute mutation, so the cache key
+        #: deliberately uses the values the program was *built* with.
+        self._constructed_options_key: Tuple = (
+            include_decompositions,
+            include_systemml_rules,
+            include_morpheus_rules,
+            include_view_voi,
+            use_constraint_index,
+        )
 
     # ------------------------------------------------------------------ setup
     def _register_view_metadata(self) -> None:
@@ -215,11 +266,88 @@ class PlanSession:
             self.max_classes = self.engine.max_classes = max_classes
         self.invalidate()
 
+    # ------------------------------------------------------------------ configuration view
+    def current_config(self) -> PlannerConfig:
+        """The session's *live* options as a frozen :class:`PlannerConfig`.
+
+        Recomputed from the current attribute values, so post-construction
+        mutation (the legacy façade setters, or direct attribute writes) is
+        reflected — and validated: an invalid mutated value surfaces as a
+        :class:`~repro.exceptions.ConfigError` when the snapshot is taken
+        (the façade's ``config`` property, :meth:`with_views` clones).
+        Note that the rule-set flags (``include_*``) are construction-time:
+        the snapshot reports the attribute values, but changing the rule
+        set requires a new session (the compiled constraint program is not
+        re-derived by mutation).
+        """
+        return PlannerConfig(
+            include_decompositions=self.include_decompositions,
+            include_systemml_rules=self.include_systemml_rules,
+            include_morpheus_rules=self.include_morpheus_rules,
+            include_view_voi=self.include_view_voi,
+            max_rounds=self.max_rounds,
+            max_atoms=self.max_atoms,
+            max_classes=self.max_classes,
+            prune=self.prune,
+            reorder_matmul_chains=self.reorder_matmul_chains,
+            alternatives_limit=self.alternatives_limit,
+            normalized_matrices=self.normalized_matrices,
+            cache_size=self.cache.capacity,
+            enable_cache=self.enable_cache,
+            use_constraint_index=self.engine.use_index,
+            tighten_thresholds=self.tighten_thresholds,
+        )
+
+    @property
+    def config(self) -> PlannerConfig:
+        return self.current_config()
+
     # ------------------------------------------------------------------ cache
+    def options_key(self) -> Tuple:
+        """The plan-affecting options component of every cache key.
+
+        Two halves, matching how the options actually act:
+
+        * the **constructed** half — the rule-set flags baked into the
+          compiled constraint program at construction (mutating those
+          attributes cannot take effect, so the key keeps the built-with
+          values and neither mislabels plans nor re-keys spuriously);
+        * the **tunable** half — the budgets, pruning, chain-reordering and
+          alternatives options plus the estimator's type, all read live by
+          every rewrite.  Mutating one of these — through the legacy façade
+          setters or by assigning session attributes directly — both takes
+          effect on the next rewrite *and* re-keys it, so plans computed
+          under the old options can never be served for the new ones.
+
+        Kept cheap deliberately (a plain attribute tuple, no validation):
+        this runs on every cache probe of the serving hot path.
+        """
+        return self._constructed_options_key + (
+            self.max_rounds,
+            self.max_atoms,
+            self.max_classes,
+            self.prune,
+            self.tighten_thresholds,
+            self.reorder_matmul_chains,
+            self.alternatives_limit,
+            type(self.estimator).__name__,
+        )
+
     def cache_key(self, expr: mx.Expr) -> CacheKey:
-        """(expression fingerprint, view-set key, catalog version)."""
+        """(expression fingerprint, view-set key, catalog version, options).
+
+        The options component is recomputed from the live session state on
+        every probe — see :meth:`options_key` for exactly which options
+        re-key on mutation (views and normalized-matrix declarations are
+        covered by the view-set key, the catalog by its version).
+        """
         catalog_version = self.catalog.version if self.catalog is not None else -1
-        return (expr.fingerprint(), self._compute_viewset_key(), catalog_version)
+        return (
+            expr.fingerprint(),
+            self._compute_viewset_key(),
+            catalog_version,
+            self.options_key(),
+        )
 
     def invalidate(self) -> None:
         """Drop every cached plan (catalog changes do this implicitly)."""
@@ -278,6 +406,14 @@ class PlanSession:
         return results
 
     def _plan(self, expr: mx.Expr, start: float) -> RewriteResult:
+        # The saturation budgets live on both the session (the declared,
+        # cache-keyed values) and the engine (what saturation actually
+        # runs).  Sync them here so a budget mutated directly on the
+        # session — bypassing set_budgets — is effective in the same
+        # rewrite that re-keys the cache; key and behaviour never diverge.
+        self.engine.max_rounds = self.max_rounds
+        self.engine.max_atoms = self.max_atoms
+        self.engine.max_classes = self.max_classes
         ctx = PlanContext(session=self, expr=expr)
         for stage in self.stages:
             stage_start = time.perf_counter()

@@ -5,6 +5,11 @@ drive: one keep-alive connection per :class:`GatewayClient`, explicit JSON
 in/out, no retry magic.  A :class:`GatewayError` carries the HTTP status so
 load harnesses can count 429s (admission control) and 503s (drain) without
 string matching.
+
+Request bodies are encoded through the same typed
+:class:`~repro.api.schema.PlanRequest` the server parses with — the client
+cannot drift from the wire schema — and :meth:`GatewayClient.submit_typed`
+re-types response documents as :class:`~repro.api.schema.PlanResponse`.
 """
 
 from __future__ import annotations
@@ -13,10 +18,10 @@ import asyncio
 import json
 from typing import Optional
 
+from repro.api.schema import PlanRequest, PlanResponse
 from repro.lang import matrix_expr as mx
 
 from repro.server.protocol import (
-    expr_to_json,
     format_http_request,
     read_http_response,
 )
@@ -102,11 +107,9 @@ class GatewayClient:
         unless ``raise_on_error=False`` (then the payload gains a
         ``"status"`` key and is returned as-is).
         """
-        body: dict = {"expression": expr_to_json(expression)}
-        if name:
-            body["name"] = name
-        if backend is not None:
-            body["backend"] = backend
+        body = PlanRequest(
+            expression=expression, name=name, backend=backend, execute=execute
+        ).to_json()
         path = "/v1/pipeline" if execute else "/v1/plan"
         status, payload = await self.request("POST", path, body)
         if status >= 300 and raise_on_error:
@@ -114,6 +117,18 @@ class GatewayClient:
         if status >= 300:
             payload = dict(payload, status=status)
         return payload
+
+    async def submit_typed(
+        self,
+        expression: mx.Expr,
+        name: str = "",
+        backend: Optional[str] = None,
+        execute: bool = False,
+    ) -> PlanResponse:
+        """Like :meth:`submit`, but re-typed as a
+        :class:`~repro.api.schema.PlanResponse` (2xx only; errors raise)."""
+        payload = await self.submit(expression, name=name, backend=backend, execute=execute)
+        return PlanResponse.from_json(payload)
 
     async def plan(self, expression: mx.Expr, name: str = "", **kwargs) -> dict:
         return await self.submit(expression, name=name, execute=False, **kwargs)

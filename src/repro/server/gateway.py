@@ -33,6 +33,8 @@ from __future__ import annotations
 import asyncio
 from typing import Optional, Set
 
+from repro._compat import warn_legacy_entry_point
+from repro.config import GatewayConfig
 from repro.service.service import AnalyticsService, BatchStats
 
 from repro.server.batcher import BatcherClosed, MicroBatcher
@@ -63,6 +65,15 @@ class AnalyticsGateway:
         Admission-control bound on concurrently admitted requests.
     batch_window_seconds / max_batch / plan_workers:
         Micro-batching knobs, forwarded to :class:`MicroBatcher`.
+    config:
+        A frozen, validated :class:`~repro.config.GatewayConfig`; when
+        given it supersedes the individual keyword knobs.  This is the
+        path :meth:`repro.api.Engine.serve` takes.
+
+    .. deprecated::
+        Constructing ``AnalyticsGateway`` directly is a legacy entry
+        point; ``await repro.api.Engine.serve()`` builds, configures and
+        starts this same class bound to the engine's service.
     """
 
     def __init__(
@@ -75,24 +86,37 @@ class AnalyticsGateway:
         max_batch: int = 128,
         plan_workers: int = 8,
         backlog: int = 2048,
+        config: Optional[GatewayConfig] = None,
     ):
-        if max_in_flight <= 0:
-            raise ValueError("max_in_flight must be positive")
+        warn_legacy_entry_point("AnalyticsGateway", "repro.api.Engine.serve")
+        if config is None:
+            # The keyword path folds into the same validated config object,
+            # so both construction paths share one source of truth.
+            config = GatewayConfig(
+                host=host,
+                port=port,
+                max_in_flight=max_in_flight,
+                batch_window_seconds=batch_window_seconds,
+                max_batch=max_batch,
+                plan_workers=plan_workers,
+                backlog=backlog,
+            )
+        self.config = config
         self.service = service
-        self.host = host
-        self._requested_port = port
+        self.host = config.host
+        self._requested_port = config.port
         #: Listen backlog sized for connect storms: the load sweep opens
         #: hundreds of connections in one burst, and the kernel's default
         #: backlog (asyncio passes 100) turns the overflow into 1s+ SYN
         #: retransmits that silently serialize the storm.
-        self.backlog = int(backlog)
-        self.max_in_flight = int(max_in_flight)
+        self.backlog = config.backlog
+        self.max_in_flight = config.max_in_flight
         self.metrics = MetricsRegistry()
         self.batcher = MicroBatcher(
             service,
-            window_seconds=batch_window_seconds,
-            max_batch=max_batch,
-            plan_workers=plan_workers,
+            window_seconds=config.batch_window_seconds,
+            max_batch=config.max_batch,
+            plan_workers=config.plan_workers,
             metrics=self.metrics,
         )
         self._server: Optional[asyncio.Server] = None

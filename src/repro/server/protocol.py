@@ -1,271 +1,66 @@
-"""The gateway wire protocol: JSON expression trees over minimal HTTP/1.1.
+"""The gateway wire surface: the shared typed schema over minimal HTTP/1.1.
 
-Two independent layers live here:
+Two independent layers meet here:
 
-* an **expression codec** — :func:`expr_to_json` / :func:`expr_from_json`
-  serialize any :class:`repro.lang.matrix_expr.Expr` tree as plain JSON.
-  The encoding mirrors the AST exactly (``op`` / typed ``payload`` /
-  ``children``), so a round trip preserves structural equality *and* the
-  blake2b fingerprint — the property every cache layer keys on.  Payload
-  items carry an explicit type tag because JSON alone cannot distinguish
-  ``2`` from ``2.0``, and the fingerprint hashes ``repr(item)`` with its
-  type name;
+* the **typed wire schema** — requests, responses and the expression codec
+  are defined once, as dataclasses, in :mod:`repro.api.schema`
+  (:class:`~repro.api.schema.PlanRequest`,
+  :class:`~repro.api.schema.PlanResponse`, :func:`expr_to_json` /
+  :func:`expr_from_json`).  This module re-exports them and keeps the
+  historical functional entry points (:func:`parse_plan_request`,
+  :func:`request_to_json`, :func:`result_to_json`) as thin delegates, so
+  the server and :class:`repro.server.client.GatewayClient` are generated
+  from one schema and cannot drift apart;
 * an **HTTP framing layer** — enough of HTTP/1.1 to serve JSON over
   :mod:`asyncio` streams without any dependency: request-line + headers +
   ``Content-Length`` bodies, keep-alive connections, and plain responses.
   It is intentionally not a general web server (no chunked encoding, no
   multipart, no TLS); it exists so the gateway's protocol is curl-able and
   load-testable with stock tools.
-
-Requests decode through :func:`parse_plan_request` into
-:class:`repro.service.ServiceRequest` objects; responses encode through
-:func:`result_to_json`, carrying the plan, per-phase timings and a
-size-capped value payload.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-import math
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, Optional, Tuple
 
-from repro.exceptions import TypeMismatchError
-from repro.lang import matrix_expr as mx
+from repro.api.schema import (
+    MAX_EXPR_NODES,
+    MAX_INLINE_VALUE_ELEMENTS,
+    PhaseTimings,
+    PlanRequest,
+    PlanResponse,
+    ProtocolError,
+    expr_from_json,
+    expr_to_json,
+    op_registry,
+    value_to_json,
+)
 from repro.service.service import ServiceRequest, ServiceResult
-
-#: Protect the decoder against hostile or runaway payloads: an expression
-#: tree larger than this is rejected before any node is built.
-MAX_EXPR_NODES = 50_000
 
 #: Largest request body the framing layer will buffer (4 MiB).
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
-#: Dense values up to this many elements are inlined in responses; larger
-#: ones are summarized by shape/nnz so a huge matrix never floods a socket.
-MAX_INLINE_VALUE_ELEMENTS = 64
-
-
-class ProtocolError(ValueError):
-    """A malformed request (bad JSON, unknown op, framing violation)."""
-
 
 # ---------------------------------------------------------------------------
-# Expression codec
-# ---------------------------------------------------------------------------
-
-
-def _op_registry() -> Dict[str, Type[mx.Expr]]:
-    """Map canonical op names to concrete Expr classes (computed once).
-
-    Walks the Expr subclass tree; abstract helpers (``_Unary`` / ``_Binary``
-    and the ``Expr`` base, recognisable by underscore names or the base
-    ``op``) are skipped.  Op names are unique by construction — they mirror
-    the VREM relation names — and this asserts it stays that way.
-    """
-    registry: Dict[str, Type[mx.Expr]] = {}
-    stack: List[Type[mx.Expr]] = [mx.Expr]
-    while stack:
-        cls = stack.pop()
-        stack.extend(cls.__subclasses__())
-        if cls.__name__.startswith("_") or cls.op == mx.Expr.op:
-            continue
-        existing = registry.get(cls.op)
-        if existing is not None and existing is not cls:
-            raise RuntimeError(
-                f"duplicate op name {cls.op!r}: {existing.__name__} vs {cls.__name__}"
-            )
-        registry[cls.op] = cls
-    return registry
-
-
-_REGISTRY: Optional[Dict[str, Type[mx.Expr]]] = None
-
-
-def op_registry() -> Dict[str, Type[mx.Expr]]:
-    global _REGISTRY
-    if _REGISTRY is None:
-        _REGISTRY = _op_registry()
-    return _REGISTRY
-
-
-_PAYLOAD_TYPES = {"int": int, "float": float, "str": str}
-
-
-def _payload_to_json(payload: Tuple) -> List[dict]:
-    items = []
-    for item in payload:
-        type_name = type(item).__name__
-        if type_name not in _PAYLOAD_TYPES:
-            raise ProtocolError(f"unserializable payload item {item!r}")
-        items.append({"t": type_name, "v": item})
-    return items
-
-
-def _payload_from_json(items) -> Tuple:
-    if not isinstance(items, list):
-        raise ProtocolError("payload must be a list")
-    payload = []
-    for item in items:
-        if not isinstance(item, dict) or "t" not in item or "v" not in item:
-            raise ProtocolError(f"malformed payload item {item!r}")
-        caster = _PAYLOAD_TYPES.get(item["t"])
-        if caster is None:
-            raise ProtocolError(f"unknown payload type {item['t']!r}")
-        try:
-            payload.append(caster(item["v"]))
-        except (TypeError, ValueError) as exc:
-            raise ProtocolError(f"bad payload value {item!r}") from exc
-    return tuple(payload)
-
-
-def expr_to_json(expr: mx.Expr) -> dict:
-    """Encode an expression tree as a JSON-ready dict."""
-    return {
-        "op": expr.op,
-        "payload": _payload_to_json(expr.payload),
-        "children": [expr_to_json(child) for child in expr.children],
-    }
-
-
-def expr_from_json(obj: dict, max_nodes: int = MAX_EXPR_NODES) -> mx.Expr:
-    """Decode an expression tree, validating ops, arity, payloads and size.
-
-    Nodes are rebuilt through the real subclass constructors: every
-    concrete ``Expr`` class takes exactly ``(*children, *payload)`` in
-    order, so the constructors' own invariants (non-empty reference names,
-    positive identity sizes, non-negative exponents, …) run on every
-    decoded node — a leaf smuggling children or an integer where a name
-    belongs is rejected here, not as a confusing planner error later.  The
-    type tags restored the exact payload types, so fingerprints survive
-    the round trip.
-    """
-    registry = op_registry()
-    budget = [max_nodes]
-
-    def build(node) -> mx.Expr:
-        if not isinstance(node, dict):
-            raise ProtocolError(f"expression node must be an object, got {node!r}")
-        budget[0] -= 1
-        if budget[0] < 0:
-            raise ProtocolError(f"expression exceeds {max_nodes} nodes")
-        op = node.get("op")
-        cls = registry.get(op) if isinstance(op, str) else None
-        if cls is None:
-            raise ProtocolError(f"unknown expression op {op!r}")
-        children = node.get("children", [])
-        if not isinstance(children, list):
-            raise ProtocolError("children must be a list")
-        if len(children) != cls.arity:
-            raise ProtocolError(
-                f"{op!r} expects {cls.arity} children, got {len(children)}"
-            )
-        built = tuple(build(child) for child in children)
-        payload = _payload_from_json(node.get("payload", []))
-        try:
-            return cls(*built, *payload)
-        except (TypeMismatchError, TypeError, ValueError) as exc:
-            raise ProtocolError(f"invalid {op!r} node: {exc}") from exc
-
-    return build(obj)
-
-
-# ---------------------------------------------------------------------------
-# Request / result JSON shapes
+# Functional entry points over the typed schema
 # ---------------------------------------------------------------------------
 
 
 def request_to_json(request: ServiceRequest) -> dict:
     """Encode a service request as a gateway request body."""
-    body: dict = {"expression": expr_to_json(request.expression)}
-    if request.name:
-        body["name"] = request.name
-    if request.backend is not None:
-        body["backend"] = request.backend
-    if not request.execute:
-        body["execute"] = False
-    return body
+    return PlanRequest.from_service_request(request).to_json()
 
 
 def parse_plan_request(body: dict) -> ServiceRequest:
     """Decode one gateway request body into a :class:`ServiceRequest`."""
-    if not isinstance(body, dict):
-        raise ProtocolError("request body must be a JSON object")
-    if "expression" not in body:
-        raise ProtocolError("request body needs an 'expression' field")
-    expression = expr_from_json(body["expression"])
-    name = body.get("name", "")
-    if not isinstance(name, str):
-        raise ProtocolError("'name' must be a string")
-    backend = body.get("backend")
-    if backend is not None and not isinstance(backend, str):
-        raise ProtocolError("'backend' must be a string")
-    execute = body.get("execute", True)
-    if not isinstance(execute, bool):
-        raise ProtocolError("'execute' must be a boolean")
-    return ServiceRequest(
-        expression=expression, name=name, backend=backend, execute=execute
-    )
-
-
-def value_to_json(value) -> Optional[dict]:
-    """Size-capped JSON rendering of an execution value.
-
-    Scalars and small dense matrices are inlined; anything bigger is
-    summarized by shape (and nnz for sparse values) — the caller asked for a
-    result, not for megabytes of matrix over a JSON socket.
-    """
-    if value is None:
-        return None
-    if isinstance(value, (int, float)):
-        return {"kind": "scalar", "data": float(value)}
-    if hasattr(value, "tocsr"):  # scipy sparse
-        return {
-            "kind": "sparse",
-            "shape": [int(dim) for dim in value.shape],
-            "nnz": int(value.nnz),
-        }
-    if hasattr(value, "shape"):  # numpy array
-        shape = [int(dim) for dim in value.shape]
-        size = 1
-        for dim in shape:
-            size *= dim
-        summary = {"kind": "dense", "shape": shape}
-        if size <= MAX_INLINE_VALUE_ELEMENTS:
-            summary["data"] = value.tolist()
-        return summary
-    return {"kind": "opaque", "repr": repr(value)[:200]}
-
-
-def _finite_or_none(value: float) -> Optional[float]:
-    """NaN/inf costs (unplannable requests) must not leak into the JSON:
-    ``json.dumps`` would emit the spec-invalid ``NaN`` literal that
-    standards-strict consumers (``JSON.parse``, ``jq``) refuse to parse."""
-    return float(value) if math.isfinite(value) else None
+    return PlanRequest.from_json(body).to_service_request()
 
 
 def result_to_json(result: ServiceResult) -> dict:
     """Encode one service result as the gateway's response body."""
-    rewrite = result.rewrite
-    return {
-        "name": result.request.name,
-        "fingerprint": rewrite.fingerprint or result.request.expression.fingerprint(),
-        "plan": rewrite.best.to_string(),
-        "changed": rewrite.changed,
-        "cache_hit": rewrite.cache_hit,
-        "original_cost": _finite_or_none(rewrite.original_cost),
-        "best_cost": _finite_or_none(rewrite.best_cost),
-        "used_views": list(rewrite.used_views),
-        "backend": result.backend,
-        "value": value_to_json(result.value),
-        "failures": [[str(who), str(why)] for who, why in result.failures],
-        "timings": {
-            "queue_seconds": result.queue_seconds,
-            "plan_seconds": result.plan_seconds,
-            "execute_seconds": result.execute_seconds,
-            "total_seconds": result.total_seconds,
-        },
-    }
+    return PlanResponse.from_result(result).to_json()
 
 
 # ---------------------------------------------------------------------------
@@ -428,6 +223,9 @@ async def read_http_response(reader: asyncio.StreamReader) -> Tuple[int, Dict[st
 
 __all__ = [
     "HttpRequest",
+    "PhaseTimings",
+    "PlanRequest",
+    "PlanResponse",
     "MAX_BODY_BYTES",
     "MAX_EXPR_NODES",
     "MAX_INLINE_VALUE_ELEMENTS",

@@ -15,11 +15,16 @@ service setting somebody still has to decide which platform.  The
 * only when every candidate fails does the router raise.
 
 The default :class:`DefaultPolicy` honours an explicit per-request backend
-first, prefers factorized (Morpheus) execution when the plan touches a
-matrix whose ``__S/__K/__R`` factors are materialized, and otherwise uses
-the as-stated NumPy substrate, keeping the remaining LA backends as
-fallbacks.  The relational engine is never auto-selected for LA plans (it
-refuses them); it participates via the hybrid path instead.
+first, prefers factorized execution when the plan touches a matrix whose
+``__S/__K/__R`` factors are materialized, and otherwise uses the preferred
+substrate, keeping the remaining LA-capable backends as fallbacks.  Which
+backends exist — and which may serve as fallbacks — is **declared, not
+hardcoded**: instances come from a capability-declaring
+:class:`~repro.backends.registry.BackendRegistry`, and the policy consults
+:class:`~repro.backends.registry.BackendCapabilities` (``supports_la`` /
+``supports_ra`` / ``supports_factorized``) instead of backend names.  The
+relational engine, declaring ``supports_la=False``, is therefore never
+auto-selected for LA plans; it participates via the hybrid path instead.
 """
 
 from __future__ import annotations
@@ -28,18 +33,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.backends.base import EvaluationResult
-from repro.backends.morpheus import MorpheusBackend, factor_names
-from repro.backends.numpy_backend import NumpyBackend
-from repro.backends.relational import RelationalEngine
-from repro.backends.systemml_like import SystemMLLikeBackend
+from repro.backends.morpheus import factor_names
+from repro.backends.registry import BackendCapabilities, BackendRegistry, capabilities_of
+from repro.config import DEFAULT_BACKENDS
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
 from repro.exceptions import ExecutionError
 from repro.lang.visitor import matrix_ref_names
 
 #: Names under which :meth:`ExecutionRouter.default_backends` registers the
-#: stock substrates.
-DEFAULT_BACKEND_NAMES = ("numpy", "systemml_like", "morpheus", "relational")
+#: stock substrates (re-exported from :mod:`repro.config`).
+DEFAULT_BACKEND_NAMES = DEFAULT_BACKENDS
 
 
 class RoutingPolicy:
@@ -71,22 +75,29 @@ class DefaultPolicy(RoutingPolicy):
     Order produced:
 
     1. the request's explicitly declared backend, if any;
-    2. ``morpheus`` when the plan references a matrix that is registered as
-       normalized (or whose ``__S/__K/__R`` factors are materialized in the
-       catalog) — factorized execution is the whole point of storing those;
+    2. a ``supports_factorized`` backend when the plan references a matrix
+       that is registered as normalized (or whose ``__S/__K/__R`` factors
+       are materialized in the catalog) — factorized execution is the
+       whole point of storing those;
     3. ``preferred`` (the as-stated NumPy substrate by default);
-    4. every other registered LA backend as a fallback.  The relational
-       engine is excluded from automatic fallback because it refuses LA
-       plans; name it explicitly on the request to route to it.
+    4. every other registered ``supports_la`` backend as a fallback.
+       Backends declaring ``supports_la=False`` (the relational engine)
+       are excluded from automatic fallback because they refuse LA plans;
+       name one explicitly on the request to route to it.
+
+    Capabilities come from each backend instance's declaration
+    (:func:`repro.backends.registry.capabilities_of`), so the policy works
+    for any registered substrate without naming it.
     """
 
     def __init__(self, preferred: str = "numpy"):
         self.preferred = preferred
 
     @staticmethod
-    def _wants_factorized(result: RewriteResult, morpheus, catalog) -> bool:
+    def _wants_factorized(result: RewriteResult, backend, catalog) -> bool:
+        normalized = getattr(backend, "normalized", None)
         for name in matrix_ref_names(result.best):
-            if morpheus is not None and morpheus.normalized(name) is not None:
+            if normalized is not None and normalized(name) is not None:
                 return True
             if catalog is not None and all(
                 catalog.has_matrix_values(f) for f in factor_names(name)
@@ -103,13 +114,16 @@ class DefaultPolicy(RoutingPolicy):
                 order.append(name)
 
         add(getattr(request, "backend", None))
-        morpheus = backends.get("morpheus")
-        catalog = getattr(morpheus, "catalog", None)
-        if morpheus is not None and self._wants_factorized(result, morpheus, catalog):
-            add("morpheus")
+        for name, backend in backends.items():
+            if not capabilities_of(backend).supports_factorized:
+                continue
+            catalog = getattr(backend, "catalog", None)
+            if self._wants_factorized(result, backend, catalog):
+                add(name)
+                break
         add(self.preferred)
-        for name in backends:
-            if name != "relational":
+        for name, backend in backends.items():
+            if capabilities_of(backend).supports_la:
                 add(name)
         return order
 
@@ -126,33 +140,44 @@ class RoutedExecution:
 
 
 class ExecutionRouter:
-    """Dispatches finished plans to backends along a policy's fallback chain."""
+    """Dispatches finished plans to backends along a policy's fallback chain.
+
+    Backend instances come from a capability-declaring
+    :class:`~repro.backends.registry.BackendRegistry` (the stock registry
+    by default); ``backend_names`` — typically
+    :attr:`repro.config.EngineConfig.backends` — selects which registered
+    substrates to instantiate.  A plain ``backends`` mapping of pre-built
+    instances is still accepted for tests and custom wiring.
+    """
 
     def __init__(
         self,
         catalog: Catalog,
         backends: Optional[Dict[str, object]] = None,
         policy: Optional[RoutingPolicy] = None,
+        registry: Optional[BackendRegistry] = None,
+        backend_names: Optional[Sequence[str]] = None,
     ):
         self.catalog = catalog
-        self.backends: Dict[str, object] = (
-            dict(backends) if backends is not None else self.default_backends(catalog)
-        )
+        self.registry = registry if registry is not None else BackendRegistry.with_defaults()
+        if backends is not None:
+            self.backends: Dict[str, object] = dict(backends)
+        else:
+            self.backends = self.registry.create_all(catalog, names=backend_names)
         self.policy = policy if policy is not None else DefaultPolicy()
 
     @staticmethod
     def default_backends(catalog: Catalog) -> Dict[str, object]:
         """One instance of each stock substrate, keyed by its public name."""
-        return {
-            "numpy": NumpyBackend(catalog),
-            "systemml_like": SystemMLLikeBackend(catalog),
-            "morpheus": MorpheusBackend(catalog),
-            "relational": RelationalEngine(catalog),
-        }
+        return BackendRegistry.with_defaults().create_all(catalog)
 
     def register(self, name: str, backend) -> None:
-        """Add (or replace) a backend under ``name``."""
+        """Add (or replace) a backend instance under ``name``."""
         self.backends[name] = backend
+
+    def capabilities(self, name: str) -> BackendCapabilities:
+        """The capability declaration of the instance registered as ``name``."""
+        return capabilities_of(self.backends[name])
 
     def execute(
         self,

@@ -25,18 +25,20 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro._compat import suppress_legacy_warnings, warn_legacy_entry_point
 from repro.backends.base import Value
+from repro.config import PlannerConfig, ServiceConfig
 from repro.constraints.views import LAView
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
-from repro.exceptions import ExecutionError
+from repro.exceptions import ConfigError, ExecutionError
 from repro.lang import matrix_expr as mx
 from repro.planner.session import PlanSession
 from repro.service.pool import PlanSessionPool
-from repro.service.router import ExecutionRouter, RoutingPolicy
+from repro.service.router import DefaultPolicy, ExecutionRouter, RoutingPolicy
 
 
 @dataclass
@@ -101,8 +103,15 @@ class ServiceResult:
 
     @property
     def ok(self) -> bool:
-        """True unless planning or every candidate backend failed."""
-        return not self.failures
+        """True unless planning or every candidate backend failed.
+
+        A request that *executed* after backend fallback is still ok: the
+        skipped candidates remain visible in ``failures``, but a routed
+        ``backend`` means a value was produced.
+        """
+        if any(who == "planner" for who, _ in self.failures):
+            return False
+        return self.backend is not None or not self.failures
 
 
 @dataclass
@@ -154,9 +163,22 @@ class AnalyticsService:
         :class:`PlanSessionPool` over a factory of identically configured
         sessions and an :class:`ExecutionRouter` with the stock backends.
     max_sessions / result_cache_size:
-        Forwarded to the default pool.
+        Forwarded to the default pool (superseded by ``config``).
     policy:
         Routing policy for the default router.
+    config / planner:
+        The :mod:`repro.api` path: a frozen
+        :class:`~repro.config.ServiceConfig` for the service knobs and a
+        :class:`~repro.config.PlannerConfig` every pooled session is built
+        from.  When ``config`` is given it supersedes ``max_sessions`` /
+        ``result_cache_size`` and (absent an explicit ``policy``) selects
+        the default policy's preferred backend.
+
+    .. deprecated::
+        Constructing ``AnalyticsService`` directly is a legacy entry
+        point; use :class:`repro.api.Engine` (``engine.submit`` /
+        ``engine.submit_many`` / ``engine.serve``), which builds this very
+        class internally from an :class:`~repro.config.EngineConfig`.
     """
 
     def __init__(
@@ -169,10 +191,27 @@ class AnalyticsService:
         max_sessions: int = 8,
         result_cache_size: int = 1024,
         policy: Optional[RoutingPolicy] = None,
+        config: Optional[ServiceConfig] = None,
+        planner: Optional[PlannerConfig] = None,
     ):
+        warn_legacy_entry_point("AnalyticsService", "repro.api.Engine")
         self.catalog = catalog
         self.views = list(views)
+        self.config = config
         options = dict(session_options or {})
+        if planner is not None:
+            overlap = sorted({f.name for f in dataclass_fields(PlannerConfig)} & set(options))
+            if overlap:
+                raise ConfigError(
+                    f"AnalyticsService got option(s) {overlap} both in session_options "
+                    f"and in the planner config; set them only on the PlannerConfig"
+                )
+            options["config"] = planner
+        if config is not None:
+            max_sessions = config.max_sessions
+            result_cache_size = config.result_cache_size
+            if policy is None:
+                policy = DefaultPolicy(config.preferred_backend)
         if pool is None:
             pool = PlanSessionPool(
                 lambda: PlanSession(catalog, views=self.views, **options),
@@ -245,7 +284,7 @@ class AnalyticsService:
 
     # ------------------------------------------------------------------ batch
     def submit_many(
-        self, items: Iterable[RequestLike], workers: int = 8
+        self, items: Iterable[RequestLike], workers: Optional[int] = None
     ) -> List[ServiceResult]:
         """Plan a batch concurrently, each distinct fingerprint exactly once.
 
@@ -267,6 +306,8 @@ class AnalyticsService:
         what makes the batch entry point safe for servers: one poisoned
         request in a micro-batch must cost exactly one error response.
         """
+        if workers is None:
+            workers = self.config.plan_workers if self.config is not None else 8
         requests = [self.as_request(item) for item in items]
         if not requests:
             return []
@@ -392,7 +433,10 @@ class AnalyticsService:
         from repro.hybrid.optimizer import HybridOptimizer
 
         if self._hybrid_optimizer is None:
-            self._hybrid_optimizer = HybridOptimizer(self.catalog, la_views=self.views)
+            # Internal building block, not a user-facing entry point here:
+            # the legacy-constructor warning must point at direct callers.
+            with suppress_legacy_warnings():
+                self._hybrid_optimizer = HybridOptimizer(self.catalog, la_views=self.views)
         if self._hybrid_executor is None:
             la_backend = self.router.backends.get("numpy")
             self._hybrid_executor = HybridExecutor(self.catalog, la_backend=la_backend)

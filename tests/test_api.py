@@ -1,0 +1,568 @@
+"""Tests for the unified ``repro.api`` surface.
+
+Covers the Engine facade, the frozen config dataclasses (validation at
+construction, actionable messages), the capability-declaring backend
+registry, the typed wire schema shared by server and client, the
+deprecation shims over the four legacy entry points (warn exactly once,
+byte-identical results), the property-setter drift regression (mutating
+planner options re-keys cached plans), and the public-API drift check
+against the documented surface in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api
+from repro._compat import reset_legacy_warnings, suppress_legacy_warnings
+from repro.api import (
+    BackendCapabilities,
+    BackendRegistry,
+    ConfigError,
+    Engine,
+    EngineConfig,
+    GatewayConfig,
+    PlanRequest,
+    PlanResponse,
+    PlannerConfig,
+    ServiceConfig,
+)
+from repro.api.schema import PhaseTimings
+from repro.backends.numpy_backend import NumpyBackend
+from repro.core import HadadOptimizer
+from repro.lang import inv, matrix, sum_all, transpose
+from repro.planner import PlanSession
+from repro.server.protocol import parse_plan_request, request_to_json, result_to_json
+from repro.service import AnalyticsService, DefaultPolicy, ServiceRequest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_state():
+    """Each test sees the once-per-process warning machinery reset."""
+    reset_legacy_warnings()
+    yield
+    reset_legacy_warnings()
+
+
+def _sample_expr():
+    return sum_all(matrix("M") @ matrix("N"))
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    def test_configs_are_frozen(self):
+        config = PlannerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.max_rounds = 9  # type: ignore[misc]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EngineConfig().backends = ("numpy",)  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs, field, hint",
+        [
+            ({"max_rounds": 0}, "max_rounds", ">= 1"),
+            ({"max_atoms": -5}, "max_atoms", ">= 1"),
+            ({"alternatives_limit": -1}, "alternatives_limit", ">= 0"),
+            ({"cache_size": 0}, "cache_size", ">= 1"),
+            ({"prune": "yes"}, "prune", "bool"),
+            ({"max_rounds": 2.5}, "max_rounds", "int"),
+        ],
+    )
+    def test_planner_config_rejects_bad_values(self, kwargs, field, hint):
+        with pytest.raises(ConfigError) as info:
+            PlannerConfig(**kwargs)
+        message = str(info.value)
+        assert field in message and hint in message
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ServiceConfig(max_sessions=0),
+            lambda: ServiceConfig(plan_workers=-1),
+            lambda: ServiceConfig(preferred_backend=""),
+            lambda: GatewayConfig(port=70_000),
+            lambda: GatewayConfig(max_in_flight=0),
+            lambda: GatewayConfig(batch_window_seconds=-0.1),
+            lambda: GatewayConfig(host=""),
+        ],
+    )
+    def test_service_and_gateway_configs_reject_bad_values(self, factory):
+        with pytest.raises(ConfigError):
+            factory()
+
+    def test_engine_mapping_config_rejects_unknown_top_level_keys(self, small_catalog):
+        with pytest.raises(ConfigError, match="planner_cfg"):
+            Engine(small_catalog, config={"planner_cfg": {"max_rounds": 6}})
+        with pytest.raises(ConfigError, match="EngineConfig"):
+            Engine(small_catalog, config=3.14)
+
+    def test_engine_config_rejects_bad_composition(self):
+        with pytest.raises(ConfigError, match="max_roundz"):
+            EngineConfig(planner={"max_roundz": 3})
+        with pytest.raises(ConfigError, match="duplicates"):
+            EngineConfig(backends=("numpy", "numpy"))
+        with pytest.raises(ConfigError, match="at least one"):
+            EngineConfig(backends=())
+        with pytest.raises(ConfigError, match="tuple of backend names"):
+            EngineConfig(backends="numpy")
+        with pytest.raises(ConfigError, match="PlannerConfig"):
+            EngineConfig(planner=42)
+
+    def test_sub_configs_coerce_from_mappings(self):
+        config = EngineConfig(
+            planner={"max_rounds": 6},
+            service={"max_sessions": 2},
+            gateway={"port": 8080},
+        )
+        assert config.planner.max_rounds == 6
+        assert config.service.max_sessions == 2
+        assert config.gateway.port == 8080
+
+    def test_normalized_matrices_coerce_and_round_trip(self):
+        config = PlannerConfig(normalized_matrices={"M": ("S", "K", "R")})
+        assert config.normalized_matrices == (("M", ("S", "K", "R")),)
+        assert config.session_kwargs()["normalized_matrices"] == {"M": ("S", "K", "R")}
+
+    def test_cache_key_is_stable_and_option_sensitive(self):
+        assert PlannerConfig().cache_key() == PlannerConfig().cache_key()
+        assert PlannerConfig().cache_key() != PlannerConfig(max_rounds=5).cache_key()
+        config = EngineConfig()
+        assert config.cache_key() == config.planner.cache_key()
+
+    def test_with_options_returns_validated_copy(self):
+        config = PlannerConfig()
+        assert config.with_options(max_rounds=7).max_rounds == 7
+        assert config.max_rounds == 4
+        with pytest.raises(ConfigError):
+            config.with_options(max_rounds=0)
+
+
+# ---------------------------------------------------------------------------
+# Engine facade
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_rewrite_matches_legacy_paths_and_caches(self, small_catalog):
+        expr = _sample_expr()
+        engine = Engine(small_catalog)
+        via_engine = engine.rewrite(expr)
+        via_legacy = HadadOptimizer(small_catalog).rewrite(expr)
+        via_session = PlanSession(small_catalog).rewrite(expr)
+        assert (
+            via_engine.best.to_string()
+            == via_legacy.best.to_string()
+            == via_session.best.to_string()
+        )
+        assert via_engine.best_cost == via_legacy.best_cost
+        assert via_engine.fingerprint == expr.fingerprint()
+        assert not via_engine.cache_hit and engine.rewrite(expr).cache_hit
+
+    def test_rewrite_all_plans_each_fingerprint_once(self, small_catalog):
+        engine = Engine(small_catalog)
+        results = engine.rewrite_all([_sample_expr(), _sample_expr(), _sample_expr()])
+        assert engine.pool.stats.plans_computed == 1
+        assert [r.cache_hit for r in results] == [False, True, True]
+        assert len({r.best.to_string() for r in results}) == 1
+
+    def test_execute_routes_and_honours_backend_override(self, small_catalog):
+        engine = Engine(small_catalog)
+        plan = engine.rewrite(_sample_expr())
+        assert engine.execute(plan).backend == "numpy"
+        assert engine.execute(plan, backend="systemml_like").backend == "systemml_like"
+        # A bare expression executes as stated.
+        assert engine.execute(_sample_expr()).backend == "numpy"
+        with pytest.raises(ConfigError, match="unknown backend"):
+            engine.execute(plan, backend="nope")
+
+    def test_submit_many_defaults_to_config_plan_workers(self, small_catalog):
+        engine = Engine(
+            small_catalog,
+            config=EngineConfig(service={"plan_workers": 2, "max_sessions": 2}),
+        )
+        results = engine.submit_many([_sample_expr()] * 4)
+        assert len(results) == 4 and all(r.ok for r in results)
+        assert all(r.backend == "numpy" for r in results)
+        assert engine.pool.stats.plans_computed == 1
+
+    def test_plan_only_engine_works_without_catalog(self):
+        engine = Engine()
+        result = engine.rewrite(transpose(transpose(matrix("Z"))))
+        assert result.best.to_string() == "Z"
+        with pytest.raises(ConfigError, match="without a catalog"):
+            _ = engine.service
+        with pytest.raises(ConfigError, match="without a catalog"):
+            engine.execute(result)
+
+    def test_with_views_derives_an_engine_that_uses_them(self, small_catalog):
+        from repro.benchkit.harness import materialize_views
+        from repro.constraints.views import LAView
+
+        expr = inv(matrix("C")) @ matrix("v1")
+        engine = Engine(small_catalog)
+        plain = engine.rewrite(expr)
+        view = LAView("VC_inv", inv(matrix("C")))
+        materialize_views([view], small_catalog)
+        viewed = engine.with_views([view])
+        assert viewed.config is engine.config
+        result = viewed.rewrite(expr)
+        assert "VC_inv" in result.used_views
+        assert plain.used_views == []
+
+    def test_engine_path_never_emits_deprecation_warnings(self, small_catalog):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = Engine(small_catalog)
+            engine.rewrite(_sample_expr())
+            engine.submit_many([_sample_expr()] * 2)
+            engine.execute(engine.rewrite(_sample_expr()))
+
+    def test_serve_binds_the_gateway_to_the_engine(self, small_catalog):
+        engine = Engine(
+            small_catalog,
+            config=EngineConfig(gateway={"batch_window_seconds": 0.0}),
+        )
+        expr = transpose(matrix("M") @ matrix("N"))
+        expected = engine.rewrite(expr).best.to_string()
+
+        async def round_trip():
+            from repro.server import GatewayClient
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                gateway = await engine.serve()
+            assert gateway.config.batch_window_seconds == 0.0
+            try:
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    typed = await client.submit_typed(expr, name="t")
+            finally:
+                await gateway.stop()
+            return typed
+
+        typed = asyncio.run(round_trip())
+        assert isinstance(typed, PlanResponse)
+        assert typed.plan == expected and typed.ok
+        assert typed.fingerprint == expr.fingerprint()
+        # One gateway per engine; late overrides are rejected loudly.
+        with pytest.raises(ConfigError, match="already built"):
+            engine.build_gateway(port=1234)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and capability routing
+# ---------------------------------------------------------------------------
+
+
+class TestBackendRegistry:
+    def test_default_registry_declares_stock_capabilities(self):
+        registry = BackendRegistry.with_defaults()
+        assert registry.names() == ("numpy", "systemml_like", "morpheus", "relational")
+        assert registry.capabilities("morpheus").supports_factorized
+        assert registry.capabilities("relational").supports_ra
+        assert not registry.capabilities("relational").supports_la
+        assert registry.la_names() == ["numpy", "systemml_like", "morpheus"]
+        assert registry.factorized_names() == ["morpheus"]
+
+    def test_registration_guards(self):
+        registry = BackendRegistry.with_defaults()
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register("numpy", NumpyBackend)
+        registry.register("numpy", NumpyBackend, replace=True)
+        with pytest.raises(ConfigError, match="callable"):
+            registry.register("thing", "not-a-factory")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            registry.capabilities("nope")
+
+    def test_engine_config_selects_registered_subset(self, small_catalog):
+        engine = Engine(small_catalog, config=EngineConfig(backends=("numpy",)))
+        assert sorted(engine.router.backends) == ["numpy"]
+        with pytest.raises(ConfigError, match="unregistered backend"):
+            Engine(small_catalog, config=EngineConfig(backends=("numpy", "nope")))
+
+    def test_fallback_chain_is_capability_driven_not_name_driven(self, small_catalog):
+        class RefusingEngine(NumpyBackend):
+            name = "sql_alias"
+            capabilities = BackendCapabilities(supports_la=False, supports_ra=True)
+
+        class ExtraLA(NumpyBackend):
+            name = "extra"
+            capabilities = BackendCapabilities(supports_la=True)
+
+        registry = BackendRegistry.with_defaults()
+        registry.register("sql_alias", RefusingEngine)
+        registry.register("extra", ExtraLA)
+        engine = Engine(small_catalog, registry=registry,
+                        config=EngineConfig(backends=registry.names()))
+        plan = engine.rewrite(_sample_expr())
+        candidates = DefaultPolicy().candidates(plan, None, engine.router.backends)
+        assert "extra" in candidates          # any LA-capable backend joins
+        assert "sql_alias" not in candidates  # non-LA never auto-selected
+        assert "relational" not in candidates
+
+    def test_capabilities_exposed_on_router(self, small_catalog):
+        engine = Engine(small_catalog)
+        assert engine.router.capabilities("morpheus").supports_factorized
+        assert not engine.router.capabilities("relational").supports_la
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def _collect(self, construct):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            construct()
+            construct()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_each_legacy_entry_point_warns_exactly_once(self, small_catalog):
+        from repro.hybrid import HybridOptimizer
+        from repro.server import AnalyticsGateway
+
+        entry_points = {
+            "HadadOptimizer": lambda: HadadOptimizer(small_catalog),
+            "HybridOptimizer": lambda: HybridOptimizer(small_catalog),
+            "AnalyticsService": lambda: AnalyticsService(small_catalog),
+            "AnalyticsGateway": lambda: AnalyticsGateway(
+                AnalyticsService(small_catalog)
+            ),
+        }
+        for name, construct in entry_points.items():
+            reset_legacy_warnings()
+            emitted = [
+                w for w in self._collect(construct) if name in str(w.message)
+            ]
+            assert len(emitted) == 1, f"{name} warned {len(emitted)} times"
+            assert "repro.api" in str(emitted[0].message)
+
+    def test_suppression_context_silences_legacy_constructors(self, small_catalog):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with suppress_legacy_warnings():
+                HadadOptimizer(small_catalog)
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_shim_produces_identical_rewrite_results(self, small_catalog):
+        expr = _sample_expr()
+        engine = Engine(small_catalog)
+        legacy = HadadOptimizer(small_catalog)
+        ours, theirs = engine.rewrite(expr), legacy.rewrite(expr)
+        assert ours.best.to_string() == theirs.best.to_string()
+        assert ours.original_cost == theirs.original_cost
+        assert ours.best_cost == theirs.best_cost
+        assert ours.used_views == theirs.used_views
+        assert ours.fingerprint == theirs.fingerprint
+        assert legacy.config.cache_key() == engine.config.cache_key()
+
+    def test_legacy_gateway_accepts_the_typed_config(self, small_catalog):
+        from repro.server import AnalyticsGateway
+
+        gateway = AnalyticsGateway(
+            AnalyticsService(small_catalog), config=GatewayConfig(max_in_flight=7)
+        )
+        assert gateway.max_in_flight == 7
+        with pytest.raises(ConfigError, match="max_in_flight"):
+            AnalyticsGateway(AnalyticsService(small_catalog), max_in_flight=0)
+
+
+# ---------------------------------------------------------------------------
+# Property-setter drift (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestSetterDriftRegression:
+    def test_facade_setter_mutation_rekeys_cached_plans(self, small_catalog):
+        expr = _sample_expr()
+        optimizer = HadadOptimizer(small_catalog)
+        before = optimizer.rewrite(expr)
+        assert optimizer.rewrite(expr).cache_hit
+
+        optimizer.max_rounds = 1
+        after = optimizer.rewrite(expr)
+        assert not after.cache_hit  # must not serve the max_rounds=4 plan
+
+        optimizer.max_rounds = 4
+        again = optimizer.rewrite(expr)
+        assert not again.cache_hit
+        assert again.best.to_string() == before.best.to_string()
+
+    def test_direct_session_attribute_mutation_rekeys_cached_plans(self, small_catalog):
+        """The historical drift: writing session attributes bypassed the
+        façade setters (and their invalidate()) and silently served plans
+        computed under the old options.  The options-aware cache key makes
+        that impossible."""
+        expr = _sample_expr()
+        optimizer = HadadOptimizer(small_catalog)
+        optimizer.rewrite(expr)
+        assert optimizer.rewrite(expr).cache_hit
+
+        optimizer.session.prune = False  # no invalidate() anywhere
+        assert not optimizer.rewrite(expr).cache_hit
+        assert optimizer.rewrite(expr).cache_hit  # new options re-cache
+
+        optimizer.session.reorder_matmul_chains = False
+        assert not optimizer.rewrite(expr).cache_hit
+
+    def test_options_key_is_part_of_the_cache_key(self, small_catalog):
+        expr = _sample_expr()
+        session = PlanSession(small_catalog)
+        key_before = session.cache_key(expr)
+        session.max_rounds = 2
+        assert session.cache_key(expr) != key_before
+        assert session.current_config().max_rounds == 2
+
+    def test_invalid_mutation_surfaces_when_snapshotted(self, small_catalog):
+        session = PlanSession(small_catalog)
+        session.max_rounds = 0
+        with pytest.raises(ConfigError, match="max_rounds"):
+            session.current_config()
+
+    def test_direct_budget_mutation_takes_effect_and_rekeys(self, small_catalog):
+        """Key and behaviour must move together: a budget assigned directly
+        on the session (bypassing set_budgets) is synced into the
+        saturation engine by the same rewrite that re-keys the cache."""
+        expr = _sample_expr()
+        session = PlanSession(small_catalog)
+        full = session.rewrite(expr)
+        assert full.saturation is not None and full.saturation.rounds > 1
+
+        session.max_rounds = 1  # direct attribute write, no set_budgets()
+        constrained = session.rewrite(expr)
+        assert not constrained.cache_hit
+        assert session.engine.max_rounds == 1
+        assert constrained.saturation is not None
+        assert constrained.saturation.rounds <= 1
+
+    def test_constructed_rule_set_flags_do_not_mislabel_plans(self, small_catalog):
+        """include_* flags are baked into the compiled constraint program;
+        mutating them is ineffective, so the cache key deliberately keeps
+        the built-with values: no re-key, no plan labelled with rules it
+        was not computed under."""
+        expr = _sample_expr()
+        session = PlanSession(small_catalog)
+        session.rewrite(expr)
+        key = session.cache_key(expr)
+        session.include_systemml_rules = False  # ineffective by design
+        assert session.cache_key(expr) == key
+        assert session.rewrite(expr).cache_hit
+
+
+# ---------------------------------------------------------------------------
+# Typed wire schema (single source of truth)
+# ---------------------------------------------------------------------------
+
+
+class TestWireSchema:
+    def test_plan_request_round_trips_and_omits_defaults(self):
+        expr = transpose(matrix("M") @ matrix("N"))
+        request = PlanRequest(expression=expr, name="p", backend="numpy", execute=False)
+        body = request.to_json()
+        assert PlanRequest.from_json(body) == request
+        minimal = PlanRequest(expression=expr).to_json()
+        assert set(minimal) == {"expression"}  # defaults stay off the wire
+
+    def test_protocol_entry_points_delegate_to_the_schema(self):
+        expr = transpose(matrix("M"))
+        service_request = ServiceRequest(expression=expr, name="x", execute=False)
+        body = request_to_json(service_request)
+        assert body == PlanRequest.from_service_request(service_request).to_json()
+        parsed = parse_plan_request(body)
+        assert isinstance(parsed, ServiceRequest)
+        assert parsed == service_request
+
+    def test_plan_response_json_keys_are_exactly_the_fields(self, small_catalog):
+        with suppress_legacy_warnings():
+            service = AnalyticsService(small_catalog)
+        result = service.submit(_sample_expr())
+        response = PlanResponse.from_result(result)
+        payload = response.to_json()
+        assert set(payload) == {f.name for f in dataclasses.fields(PlanResponse)}
+        assert set(payload["timings"]) == {
+            f.name for f in dataclasses.fields(PhaseTimings)
+        }
+        assert result_to_json(result) == payload
+        assert PlanResponse.from_json(payload) == response
+        assert response.ok and payload["backend"] == "numpy"
+
+    def test_plan_response_from_json_validates(self):
+        with pytest.raises(Exception, match="timings"):
+            PlanResponse.from_json({"timings": "soon"})
+        with pytest.raises(Exception, match="used_views"):
+            PlanResponse.from_json({"used_views": "V1"})
+
+    def test_ok_is_true_after_successful_backend_fallback(self, small_catalog):
+        """A request that executed after fallback keeps the skipped
+        candidates in ``failures`` but is ok — on the service result and on
+        the typed wire response alike."""
+        from repro.service import StaticPolicy
+
+        with suppress_legacy_warnings():
+            service = AnalyticsService(
+                small_catalog, policy=StaticPolicy(("relational", "numpy"))
+            )
+        result = service.submit(_sample_expr())
+        assert result.backend == "numpy"
+        assert result.failures and result.failures[0][0] == "relational"
+        assert result.ok
+        response = PlanResponse.from_json(PlanResponse.from_result(result).to_json())
+        assert response.ok and response.failures
+
+        # Planner failures and total execution failure stay not-ok.
+        assert not dataclasses.replace(
+            response, failures=(("planner", "boom"),)
+        ).ok
+        assert not dataclasses.replace(
+            response, backend=None, failures=(("router", "all failed"),)
+        ).ok
+
+
+# ---------------------------------------------------------------------------
+# Public-surface drift check against docs/api.md
+# ---------------------------------------------------------------------------
+
+
+def _documented_exports(section_title: str) -> set:
+    text = (Path(__file__).resolve().parent.parent / "docs" / "api.md").read_text()
+    pattern = re.compile(
+        rf"^###\s+{re.escape(section_title)}\s*$(.*?)(?=^#{{2,3}}\s)",
+        re.MULTILINE | re.DOTALL,
+    )
+    match = pattern.search(text)
+    assert match, f"docs/api.md lost its {section_title!r} section"
+    return set(re.findall(r"^\| `([A-Za-z_][A-Za-z0-9_]*)` \|", match.group(1), re.MULTILINE))
+
+
+class TestPublicSurfaceDrift:
+    def test_repro_all_matches_documented_surface(self):
+        documented = _documented_exports("`repro` top-level exports")
+        assert documented == set(repro.__all__), (
+            "repro.__all__ and the docs/api.md export table diverged; "
+            "update both together"
+        )
+
+    def test_repro_api_all_matches_documented_surface(self):
+        documented = _documented_exports("`repro.api` exports")
+        assert documented == set(repro.api.__all__), (
+            "repro.api.__all__ and the docs/api.md export table diverged; "
+            "update both together"
+        )
+
+    def test_every_documented_export_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name)
