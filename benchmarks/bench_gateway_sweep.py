@@ -11,19 +11,34 @@ criterion: the gateway must sustain >= 200 concurrent in-flight requests
 with micro-batched planning (batch size > 1 observed in the metrics) while
 answering plans byte-identical to a serial ``rewrite_all``.
 
+A second, **multi-workspace** sweep (``--workspaces``) drives one gateway
+serving two tenants whose workspaces differ only in their view sets (no
+views vs. V_exp) over the *same* pipeline fingerprints — the
+workspace-isolation acceptance criterion: >= 2 tenants served
+concurrently, every answer byte-identical to *its own tenant's* serial
+plans (a cross-tenant cache hit would surface as a plan mismatch), and the
+tenants' plans provably distinct.
+
 Run under pytest (``python -m pytest benchmarks/bench_gateway_sweep.py``)
 for the assertions, or directly
-(``python benchmarks/bench_gateway_sweep.py``) to emit the JSON summary the
-perf-regression gate (``tools/check_perf.py``) tracks.
+(``python benchmarks/bench_gateway_sweep.py [--workspaces]``) to emit the
+JSON summaries the perf-regression gate (``tools/check_perf.py``) tracks.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 
+from repro.api import Engine, EngineConfig, WorkspaceRegistry
 from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
-from repro.benchkit.harness import run_gateway_sweep
+from repro.benchkit.harness import (
+    materialize_views,
+    run_gateway_sweep,
+    run_workspace_sweep,
+)
 from repro.benchkit.pipelines import build_pipeline, default_roles
+from repro.benchkit.views_vexp import build_vexp_views
 from repro.planner import PlanSession
 from repro.service import AnalyticsService
 
@@ -72,6 +87,49 @@ def measure(scale: float = 0.01) -> dict:
     return summary
 
 
+#: Pipelines for the multi-workspace sweep: a mix where V_exp rewrites some
+#: (P2.14 / P2.25 use views) and leaves others alone — so the two tenants'
+#: plan sets provably differ while sharing every fingerprint.
+WORKSPACE_SAMPLE = ["P1.1", "P1.4", "P2.14", "P2.25"]
+
+#: Clients per tenant at the workspace acceptance point (2 tenants → 24
+#: concurrent connections, every tenant served concurrently).
+WORKSPACE_ACCEPTANCE_CLIENTS = 12
+
+
+def _workspace_engine_factory(scale: float = 0.01):
+    """A factory of 2-tenant engines: ``noviews`` vs ``vexp`` over one catalog."""
+    catalog = benchmark_catalog(scale=scale)
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    views = build_vexp_views(roles)
+    materialize_views(views, catalog)
+
+    def factory():
+        registry = WorkspaceRegistry()
+        registry.register("noviews", catalog=catalog)
+        registry.register("vexp", catalog=catalog, views=views)
+        return Engine(workspaces=registry, config=EngineConfig(service={"max_sessions": 8}))
+
+    return factory
+
+
+def measure_workspaces(scale: float = 0.01) -> dict:
+    """Run the multi-tenant grid plus the acceptance point."""
+    factory = _workspace_engine_factory(scale)
+    pipelines = _pipelines(WORKSPACE_SAMPLE)
+    summary = run_workspace_sweep(
+        pipelines,
+        engine_factory=factory,
+        tenant_names=("noviews", "vexp"),
+        clients_per_tenant=(4, WORKSPACE_ACCEPTANCE_CLIENTS),
+        batch_windows=(0.01,),
+        requests_per_client=2,
+    )
+    summary["scale"] = scale
+    summary["acceptance"] = summary["points"][-1]
+    return summary
+
+
 def test_gateway_sustains_200_inflight(catalog):
     """Acceptance: >= 200 concurrent in-flight, micro-batching observed,
     plans byte-identical to serial, nothing rejected at this bound."""
@@ -109,5 +167,39 @@ def test_admission_control_rejects_over_limit(catalog):
     assert point["byte_identical_to_serial"]
 
 
+def test_multi_workspace_tenants_served_concurrently_and_isolated(catalog):
+    """Acceptance: >= 2 tenants served concurrently through one gateway,
+    every answer byte-identical to its own tenant's serial plans, the
+    tenants' plan sets distinct, per-workspace metric series present."""
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    views = build_vexp_views(roles)
+    materialize_views(views, catalog)
+
+    def factory():
+        registry = WorkspaceRegistry()
+        registry.register("noviews", catalog=catalog)
+        registry.register("vexp", catalog=catalog, views=views)
+        return Engine(workspaces=registry)
+
+    summary = run_workspace_sweep(
+        _pipelines(WORKSPACE_SAMPLE),
+        engine_factory=factory,
+        tenant_names=("noviews", "vexp"),
+        clients_per_tenant=(WORKSPACE_ACCEPTANCE_CLIENTS,),
+        batch_windows=(0.01,),
+        requests_per_client=2,
+    )
+    point = summary["points"][0]
+    assert point["tenants_served"] >= 2, point
+    assert point["per_tenant_byte_identical"], point.get("mismatched")
+    assert point["tenant_plans_distinct"], point
+    assert point["workspace_series_present"], point
+    assert point["no_rejections"]
+    assert point["requests_answered"] == point["requests_sent"]
+
+
 if __name__ == "__main__":
-    print(json.dumps(measure(), indent=2))
+    if "--workspaces" in sys.argv[1:]:
+        print(json.dumps(measure_workspaces(), indent=2))
+    else:
+        print(json.dumps(measure(), indent=2))

@@ -14,7 +14,9 @@ extract → post-optimize) driven by :class:`repro.planner.PlanSession`, which
 owns the long-lived state: the constraint set compiled once into an indexed
 program, the saturation engine, and a fingerprint-keyed rewrite cache.
 
-The public entry point is :class:`repro.api.Engine`: one typed object over
+The public entry point is :class:`repro.api.Engine`: one typed,
+multi-tenant object — named, versioned workspace bundles
+(:class:`repro.api.WorkspaceRegistry`; ``engine.workspace(name)``) — over
 the planner (``engine.rewrite``), the concurrent service layer
 (``engine.submit_many``; :mod:`repro.service` plans on a
 :class:`~repro.service.PlanSessionPool` and routes finished plans to the
@@ -66,12 +68,20 @@ from repro.api import (
     GatewayConfig,
     PlannerConfig,
     ServiceConfig,
+    UnknownWorkspaceError,
+    Workspace,
+    WorkspaceHandle,
+    WorkspaceRegistry,
 )
 
 __version__ = "1.3.0"
 
 __all__ = [
     "Engine",
+    "Workspace",
+    "WorkspaceHandle",
+    "WorkspaceRegistry",
+    "UnknownWorkspaceError",
     "EngineConfig",
     "PlannerConfig",
     "ServiceConfig",

@@ -26,6 +26,36 @@ _warned: Set[str] = set()
 _lock = threading.Lock()
 _suppressed = threading.local()
 
+#: Name of the workspace the legacy single-catalog constructors map onto.
+DEFAULT_WORKSPACE = "default"
+
+
+def default_workspace_registry(
+    catalog=None, views=(), estimator=None, planner=None
+):
+    """The single-catalog → multi-workspace compatibility shim.
+
+    ``Engine(catalog, views=...)`` — the historical one-tenant constructor —
+    is, since the Workspace redesign, exactly an engine whose registry holds
+    one workspace named :data:`DEFAULT_WORKSPACE` carrying that catalog,
+    view set and planner config.  This builds that registry; imports are
+    deferred so this module stays dependency-free for the packages that
+    import it at their own import time.
+    """
+    from repro.api.workspace import Workspace, WorkspaceRegistry
+
+    registry = WorkspaceRegistry()
+    registry.add(
+        Workspace(
+            name=DEFAULT_WORKSPACE,
+            catalog=catalog,
+            views=tuple(views),
+            config=planner,
+            estimator=estimator,
+        )
+    )
+    return registry
+
 
 def warn_legacy_entry_point(name: str, replacement: str) -> None:
     """Emit the once-per-process deprecation warning for ``name``.
@@ -72,6 +102,8 @@ def reset_legacy_warnings() -> None:
 
 
 __all__ = [
+    "DEFAULT_WORKSPACE",
+    "default_workspace_registry",
     "reset_legacy_warnings",
     "suppress_legacy_warnings",
     "warn_legacy_entry_point",

@@ -3,7 +3,12 @@
 One :class:`Engine` replaces the four historical front doors
 (``HadadOptimizer``, ``HybridOptimizer``, ``AnalyticsService``,
 ``AnalyticsGateway``), which remain as behavior-preserving deprecation
-shims.  Options travel as frozen, validated dataclasses
+shims — and serves many named tenant **workspaces** side by side: a
+:class:`WorkspaceRegistry` holds versioned (catalog, views,
+``PlannerConfig``) bundles, ``engine.workspace(name)`` returns a typed
+:class:`WorkspaceHandle` over the full rewrite/submit/execute ladder, and
+the gateway routes per-request ``workspace`` fields with per-tenant quotas
+and metrics labels.  Options travel as frozen, validated dataclasses
 (:class:`~repro.config.PlannerConfig` / :class:`~repro.config.ServiceConfig`
 / :class:`~repro.config.GatewayConfig`, composed by
 :class:`~repro.config.EngineConfig`); execution substrates are declared to
@@ -34,8 +39,9 @@ from repro.config import (
     PlannerConfig,
     ServiceConfig,
 )
-from repro.exceptions import ConfigError
-from repro.api.engine import Engine
+from repro.exceptions import ConfigError, UnknownWorkspaceError
+from repro.api.engine import Engine, WorkspaceHandle
+from repro.api.workspace import DEFAULT_WORKSPACE, Workspace, WorkspaceRegistry
 from repro.api.schema import (
     PhaseTimings,
     PlanRequest,
@@ -50,6 +56,7 @@ __all__ = [
     "BackendRegistry",
     "ConfigError",
     "DEFAULT_BACKENDS",
+    "DEFAULT_WORKSPACE",
     "Engine",
     "EngineConfig",
     "GatewayConfig",
@@ -59,6 +66,10 @@ __all__ = [
     "PlannerConfig",
     "ProtocolError",
     "ServiceConfig",
+    "UnknownWorkspaceError",
+    "Workspace",
+    "WorkspaceHandle",
+    "WorkspaceRegistry",
     "expr_from_json",
     "expr_to_json",
 ]

@@ -1,43 +1,60 @@
-"""The unified front door: one typed, capability-negotiated ``Engine``.
+"""The unified front door: one typed, multi-workspace ``Engine``.
 
 HADAD's pitch is a *single* lightweight optimizer any LA/RA/hybrid workload
-sits on top of; :class:`Engine` is that single object for this codebase.
-It offers the full ladder the four historical entry points used to split
-between them:
+sits on top of; :class:`Engine` is that single object for this codebase —
+and since the Workspace redesign, "any workload" is literal: one engine
+serves many named tenant **workspaces** (independent catalog + view set +
+planner config bundles, see :mod:`repro.api.workspace`) side by side.
 
-====================================  =========================================
-``engine.rewrite(expr)``              synchronous planning over a pooled
-                                      session (the ``HadadOptimizer`` path)
-``engine.submit`` / ``submit_many``   the concurrent plan-and-execute service
-                                      path (``AnalyticsService``)
-``engine.submit_hybrid(query)``       hybrid RA+LA queries (``HybridOptimizer``
-                                      plus executor, behind the service)
-``engine.execute(plan, backend=...)`` route a finished plan to an execution
-                                      substrate via the capability-declaring
-                                      :class:`~repro.backends.registry.BackendRegistry`
-``await engine.serve()``              the asyncio gateway (``AnalyticsGateway``)
-                                      bound to this same engine
-====================================  =========================================
+Two construction modes, one behaviour:
 
-Options flow exclusively through one frozen, validated
-:class:`~repro.config.EngineConfig` — there are no ad-hoc keyword knobs —
-and the same config object is threaded down unchanged, so every cache layer
-(session, pool, gateway batcher) keys on ``config.cache_key()`` and plans
-are byte-identical to the legacy paths by construction.
+* **single-catalog** (the historical surface, kept byte-identical)::
+
+      engine = Engine(catalog, views=[...])
+      engine.rewrite(expr)                  # plans in the "default" workspace
+
+  Internally this is a compatibility shim
+  (:func:`repro._compat.default_workspace_registry`): the catalog/views
+  become the registry's ``"default"`` workspace and every engine-level
+  method delegates to it.
+
+* **multi-workspace**::
+
+      registry = WorkspaceRegistry()
+      registry.register("tenant-a", catalog_a, views=views_a)
+      registry.register("tenant-b", catalog_b, config={"max_rounds": 6})
+      engine = Engine(workspaces=registry)
+      handle = engine.workspace("tenant-a")  # typed WorkspaceHandle
+      handle.rewrite(expr); handle.submit_many(batch); handle.execute(plan)
+
+Each workspace gets its **own** session pool, service and router, and every
+shared-cache key carries the workspace identity (``name@v<version>``) — so
+tenants never share a stale plan, while identical *(fingerprint, view-set,
+config)* requests still dedup within a tenant.  Updating a bundle through
+the registry bumps its version; the engine rebuilds that workspace's
+runtime on next access and leaves every other tenant's pooled sessions and
+cached plans untouched.
+
+Options flow through one frozen, validated
+:class:`~repro.config.EngineConfig`; its ``service``/``gateway`` parts are
+engine-wide, while the planning knobs live per workspace (the shim maps
+``config.planner`` onto the default workspace).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro._compat import suppress_legacy_warnings
+from repro._compat import default_workspace_registry, suppress_legacy_warnings
+from repro.api.workspace import Workspace, WorkspaceRegistry
 from repro.backends.registry import BackendRegistry
 from repro.config import EngineConfig, GatewayConfig, PlannerConfig
 from repro.constraints.views import LAView
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, UnknownWorkspaceError
 from repro.lang import matrix_expr as mx
 from repro.planner.session import PlanSession
 from repro.service.pool import PlanSessionPool
@@ -67,120 +84,150 @@ def _coerce_engine_config(config: object) -> EngineConfig:
     )
 
 
-class Engine:
-    """The one typed entry point over planner, service, backends and gateway.
+class _WorkspaceRuntime:
+    """The per-workspace serving state the engine builds and caches.
 
-    Parameters
-    ----------
-    catalog:
-        The shared :class:`~repro.data.Catalog`.  Optional for plan-only
-        use (``rewrite`` / ``rewrite_all`` work without one); execution
-        and serving require it and fail with an actionable
-        :class:`~repro.exceptions.ConfigError` otherwise.
-    views:
-        Materialized LA views every pooled session plans with.
-    estimator:
-        Sparsity estimator for the cost model (default
-        :class:`~repro.cost.NaiveMetadataEstimator`).
-    config:
-        An :class:`~repro.config.EngineConfig` (or a
-        :class:`~repro.config.PlannerConfig`, or a mapping of
-        ``EngineConfig`` fields).  Validated — invalid values raise at
-        construction, not at first use.
-    registry:
-        A :class:`~repro.backends.registry.BackendRegistry`; by default the
-        stock substrates.  ``config.backends`` selects which registered
-        names this engine instantiates, and every name is checked against
-        the registry here.
+    One pool (eager, so configuration errors surface at build time), one
+    router and one service (both lazy — plan-only workspaces never touch
+    backends).  Keyed to the workspace snapshot's version: a registry
+    update makes the engine build a fresh runtime and drop this one.
     """
 
-    def __init__(
-        self,
-        catalog: Optional[Catalog] = None,
-        views: Sequence[LAView] = (),
-        estimator=None,
-        config: Union[EngineConfig, PlannerConfig, Mapping, None] = None,
-        registry: Optional[BackendRegistry] = None,
-    ):
-        self.config = _coerce_engine_config(config)
-        self.catalog = catalog
-        self.views = list(views)
-        self.estimator = estimator
-        self.registry = registry if registry is not None else BackendRegistry.with_defaults()
-        missing = [name for name in self.config.backends if name not in self.registry]
-        if missing:
-            raise ConfigError(
-                f"EngineConfig.backends names unregistered backend(s) {missing}; "
-                f"registered: {sorted(self.registry.names())}"
-            )
-        planner = self.config.planner
+    def __init__(self, engine: "Engine", workspace: Workspace):
+        self.engine = engine
+        self.workspace = workspace
+        service_config = engine.config.service
         self.pool = PlanSessionPool(
-            lambda: PlanSession(
-                catalog=self.catalog,
-                views=self.views,
-                estimator=self.estimator,
-                config=planner,
-            ),
-            max_sessions=self.config.service.max_sessions,
-            result_cache_size=self.config.service.result_cache_size,
+            self._session_factory,
+            max_sessions=service_config.max_sessions,
+            result_cache_size=service_config.result_cache_size,
+            workspace=workspace.runtime_key,
         )
         self._router: Optional[ExecutionRouter] = None
         self._service: Optional[AnalyticsService] = None
-        #: The AnalyticsGateway once built; typed loosely because the
-        #: server package is imported lazily (``serve`` is optional).
-        self._gateway: Optional[Any] = None
+        self._lock = threading.Lock()
 
-    # ------------------------------------------------------------------ wiring
+    def _session_factory(self) -> PlanSession:
+        workspace = self.workspace
+        return PlanSession(
+            catalog=workspace.catalog,
+            views=list(workspace.views),
+            estimator=workspace.estimator,
+            config=workspace.config,
+        )
+
     def _require_catalog(self, what: str) -> Catalog:
-        if self.catalog is None:
+        if self.workspace.catalog is None:
             raise ConfigError(
-                f"this Engine was built without a catalog, which {what} requires; "
-                f"construct it as Engine(catalog, ...) to execute or serve plans"
+                f"workspace {self.workspace.name!r} was registered without a "
+                f"catalog, which {what} requires; register it with one to "
+                f"execute or serve plans"
             )
-        return self.catalog
+        return self.workspace.catalog
 
     @property
     def router(self) -> ExecutionRouter:
-        """The capability-negotiated plan router (built on first use)."""
-        if self._router is None:
-            self._router = ExecutionRouter(
-                self._require_catalog("execution routing"),
-                registry=self.registry,
-                backend_names=self.config.backends,
-                policy=DefaultPolicy(self.config.service.preferred_backend),
-            )
-        return self._router
+        with self._lock:
+            if self._router is None:
+                engine = self.engine
+                self._router = ExecutionRouter(
+                    self._require_catalog("execution routing"),
+                    registry=engine.registry,
+                    backend_names=engine.config.backends,
+                    policy=DefaultPolicy(engine.config.service.preferred_backend),
+                )
+            return self._router
 
     @property
     def service(self) -> AnalyticsService:
-        """The concurrent service bound to this engine (built on first use)."""
         if self._service is None:
             catalog = self._require_catalog("the service path")
-            with suppress_legacy_warnings():
-                self._service = AnalyticsService(
-                    catalog,
-                    views=self.views,
-                    pool=self.pool,
-                    router=self.router,
-                    config=self.config.service,
-                )
+            router = self.router  # resolved before _lock (router takes it too)
+            with self._lock:
+                if self._service is None:
+                    with suppress_legacy_warnings():
+                        self._service = AnalyticsService(
+                            catalog,
+                            views=list(self.workspace.views),
+                            pool=self.pool,
+                            router=router,
+                            config=self.engine.config.service,
+                            workspace=self.workspace.name,
+                        )
         return self._service
+
+
+class WorkspaceHandle:
+    """A lightweight typed handle on one workspace of a multi-tenant engine.
+
+    Returned by :meth:`Engine.workspace`; exposes the full ladder —
+    ``rewrite`` / ``rewrite_all`` / ``submit`` / ``submit_many`` /
+    ``submit_hybrid`` / ``execute`` — scoped to this workspace's catalog,
+    views and planner config.  Handles are snapshots: one resolved before a
+    registry update keeps planning against the bundle it was resolved with
+    (``engine.workspace(name)`` again returns the updated one).
+    """
+
+    __slots__ = ("_runtime",)
+
+    def __init__(self, runtime: _WorkspaceRuntime):
+        self._runtime = runtime
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def name(self) -> str:
+        return self._runtime.workspace.name
+
+    @property
+    def version(self) -> int:
+        return self._runtime.workspace.version
+
+    @property
+    def catalog(self) -> Optional[Catalog]:
+        return self._runtime.workspace.catalog
+
+    @property
+    def views(self) -> Tuple[LAView, ...]:
+        return self._runtime.workspace.views
+
+    @property
+    def config(self) -> PlannerConfig:
+        """This workspace's planner config (engine-wide knobs live on
+        :attr:`Engine.config`)."""
+        return self._runtime.workspace.config  # type: ignore[return-value]
+
+    @property
+    def estimator(self) -> Optional[object]:
+        return self._runtime.workspace.estimator
+
+    @property
+    def pool(self) -> PlanSessionPool:
+        return self._runtime.pool
+
+    @property
+    def router(self) -> ExecutionRouter:
+        return self._runtime.router
+
+    @property
+    def service(self) -> AnalyticsService:
+        return self._runtime.service
+
+    def describe(self) -> dict:
+        return self._runtime.workspace.describe()
 
     # ------------------------------------------------------------------ planning
     def rewrite(self, expr: mx.Expr) -> RewriteResult:
-        """Find the minimum-cost equivalent of ``expr``.
+        """Find the minimum-cost equivalent of ``expr`` in this workspace.
 
-        Synchronous, thread-safe, and byte-identical to the legacy
-        ``HadadOptimizer.rewrite`` path: the pooled sessions are built from
-        the same :class:`~repro.config.PlannerConfig` the façade folds its
-        keywords into, and the pool's shared single-flight cache keys on
-        the config's :meth:`~repro.config.PlannerConfig.cache_key`.
+        Synchronous, thread-safe; plans through the workspace's pooled
+        sessions and its single-flight shared cache (whose keys carry the
+        workspace identity).
         """
-        return self.pool.plan(expr)
+        return self._runtime.pool.plan(expr)
 
     def rewrite_all(self, expressions: Iterable[mx.Expr]) -> List[RewriteResult]:
         """Rewrite a batch, planning each distinct fingerprint exactly once."""
-        return [self.pool.plan(expr) for expr in expressions]
+        return [self._runtime.pool.plan(expr) for expr in expressions]
 
     # ------------------------------------------------------------------ service path
     def submit(self, item: RequestLike) -> ServiceResult:
@@ -194,7 +241,7 @@ class Engine:
         return self.service.submit_many(items, workers=workers)
 
     def submit_hybrid(self, query, execute: bool = True) -> ServiceResult:
-        """Route a hybrid RA+LA query through the service."""
+        """Route a hybrid RA+LA query through this workspace's service."""
         return self.service.submit_hybrid(query, execute=execute)
 
     # ------------------------------------------------------------------ execution
@@ -222,25 +269,327 @@ class Engine:
                 rewrite_seconds=0.0,
                 fingerprint=plan.fingerprint(),
             )
-        if backend is not None and backend not in self.router.backends:
+        router = self.router
+        if backend is not None and backend not in router.backends:
             raise ConfigError(
                 f"unknown backend {backend!r}; this engine registered "
-                f"{sorted(self.router.backends)}"
+                f"{sorted(router.backends)}"
             )
         request = (
-            ServiceRequest(expression=plan.original, backend=backend)
+            ServiceRequest(
+                expression=plan.original, backend=backend, workspace=self.name
+            )
             if backend is not None
             else None
         )
-        return self.router.execute(plan, request=request, use_rewritten=use_rewritten)
+        return router.execute(plan, request=request, use_rewritten=use_rewritten)
+
+    # ------------------------------------------------------------------ stats
+    def stats_dict(self) -> dict:
+        """JSON-ready snapshot of this workspace's planning-pool counters."""
+        return self._runtime.pool.stats_dict()
+
+
+class Engine:
+    """The one typed entry point over planner, service, backends and gateway.
+
+    Parameters
+    ----------
+    catalog / views / estimator:
+        The single-catalog surface: these become the registry's
+        ``"default"`` workspace (mutually exclusive with ``workspaces``).
+        ``catalog`` is optional for plan-only use; execution and serving
+        require one and fail with an actionable
+        :class:`~repro.exceptions.ConfigError` otherwise.
+    config:
+        An :class:`~repro.config.EngineConfig` (or a
+        :class:`~repro.config.PlannerConfig`, or a mapping of
+        ``EngineConfig`` fields).  Validated — invalid values raise at
+        construction, not at first use.  ``config.service`` and
+        ``config.gateway`` apply engine-wide; ``config.planner`` configures
+        the default workspace of the single-catalog surface.  Registered
+        workspaces carry their own :class:`~repro.config.PlannerConfig` —
+        combining ``workspaces`` with a non-default ``config.planner``
+        raises, never silently ignores.
+    registry:
+        A :class:`~repro.backends.registry.BackendRegistry`; by default the
+        stock substrates.  ``config.backends`` selects which registered
+        names this engine instantiates, and every name is checked against
+        the registry here.
+    workspaces:
+        A :class:`~repro.api.WorkspaceRegistry` of named tenant bundles for
+        multi-workspace serving; access them via :meth:`workspace`.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        views: Sequence[LAView] = (),
+        estimator=None,
+        config: Union[EngineConfig, PlannerConfig, Mapping, None] = None,
+        registry: Optional[BackendRegistry] = None,
+        workspaces: Optional[WorkspaceRegistry] = None,
+    ):
+        self.config = _coerce_engine_config(config)
+        self.registry = registry if registry is not None else BackendRegistry.with_defaults()
+        missing = [name for name in self.config.backends if name not in self.registry]
+        if missing:
+            raise ConfigError(
+                f"EngineConfig.backends names unregistered backend(s) {missing}; "
+                f"registered: {sorted(self.registry.names())}"
+            )
+        self._runtimes: Dict[str, _WorkspaceRuntime] = {}
+        self._runtimes_lock = threading.Lock()
+        #: Per-workspace build serialization: N racers for one cold tenant
+        #: must not each compile a constraint program only to discard all
+        #: but one — they wait on the single build instead.  Per-name so
+        #: one tenant's build never blocks another's.
+        self._build_locks: Dict[str, threading.Lock] = {}
+        if workspaces is not None:
+            if catalog is not None or len(tuple(views)) or estimator is not None:
+                raise ConfigError(
+                    "Engine got both a WorkspaceRegistry and single-catalog "
+                    "arguments (catalog/views/estimator); register the latter "
+                    "as a workspace instead"
+                )
+            if self.config.planner != PlannerConfig():
+                # Planning knobs live on each workspace bundle; silently
+                # ignoring an engine-wide planner config here would hand
+                # the operator default-knob plans with no error.
+                raise ConfigError(
+                    "Engine got both a WorkspaceRegistry and a non-default "
+                    "EngineConfig.planner; planner options are per-workspace "
+                    "— set them on each Workspace's config instead"
+                )
+            self.workspaces = workspaces
+        else:
+            # The legacy single-catalog constructor: a default-workspace
+            # shim (repro._compat), built eagerly so configuration errors
+            # (bad estimator name, invalid views) surface here.
+            self.workspaces = default_workspace_registry(
+                catalog=catalog,
+                views=views,
+                estimator=estimator,
+                planner=self.config.planner,
+            )
+            self.workspace()
+        #: The AnalyticsGateway once built; typed loosely because the
+        #: server package is imported lazily (``serve`` is optional).
+        self._gateway: Optional[Any] = None
+
+    # ------------------------------------------------------------------ workspaces
+    def workspace(self, name: Optional[str] = None) -> WorkspaceHandle:
+        """A typed handle on the named workspace (default: the default one).
+
+        Resolves the current bundle from the registry; when its version
+        moved since the last access (a :meth:`WorkspaceRegistry.update`),
+        the workspace's runtime — pool, sessions, cached plans — is rebuilt
+        fresh while every other workspace's runtime is left untouched.
+        Unknown names raise
+        :class:`~repro.exceptions.UnknownWorkspaceError`.
+        """
+        if name is None:
+            name = self.workspaces.default_name
+        while True:
+            try:
+                snapshot = self.workspaces.get(name)
+            except UnknownWorkspaceError:
+                # Reap the state of a workspace removed from the registry —
+                # its pool, sessions and cached plans must not outlive it.
+                with self._runtimes_lock:
+                    self._runtimes.pop(name, None)
+                    self._build_locks.pop(name, None)
+                raise
+            # The registry hands out the stored Workspace object itself, so
+            # object identity — not version numbers — decides whether the
+            # cached runtime still reflects the registered bundle.
+            with self._runtimes_lock:
+                runtime = self._runtimes.get(name)
+                if runtime is not None and runtime.workspace is snapshot:
+                    return WorkspaceHandle(runtime)
+            # Built OUTSIDE _runtimes_lock (one tenant's build must not
+            # stall another's handle resolution) but UNDER this name's
+            # build lock, so concurrent cold-start racers wait on a single
+            # compile instead of each burning one.
+            with self._build_lock_for(name):
+                with self._runtimes_lock:
+                    runtime = self._runtimes.get(name)
+                    if runtime is not None and runtime.workspace is snapshot:
+                        return WorkspaceHandle(runtime)  # built while we waited
+                # Re-read before compiling: the bundle may have moved while
+                # we waited on the lock, and a superseded snapshot must not
+                # cost a constraint-program compile just to be discarded.
+                try:
+                    if self.workspaces.get(name) is not snapshot:
+                        continue
+                except UnknownWorkspaceError:
+                    with self._runtimes_lock:
+                        self._runtimes.pop(name, None)
+                        self._build_locks.pop(name, None)
+                    raise
+                fresh = _WorkspaceRuntime(self, snapshot)
+                with self._runtimes_lock:
+                    try:
+                        current = self.workspaces.get(name)
+                    except UnknownWorkspaceError:
+                        self._runtimes.pop(name, None)
+                        self._build_locks.pop(name, None)
+                        raise
+                    if current is snapshot:
+                        self._runtimes[name] = fresh
+                        return WorkspaceHandle(fresh)
+            # The bundle moved while we were building (update or
+            # remove+re-register): never install — or serve — a runtime for
+            # a superseded snapshot; resolve the current one instead.
+
+    def _build_lock_for(self, name: str) -> threading.Lock:
+        with self._runtimes_lock:
+            lock = self._build_locks.get(name)
+            if lock is None:
+                lock = threading.Lock()
+                self._build_locks[name] = lock
+            return lock
+
+    def workspace_names(self) -> Tuple[str, ...]:
+        """The registered workspace names, sorted."""
+        return self.workspaces.names()
+
+    def has_workspace(self, name: str) -> bool:
+        """Whether ``name`` is registered (cheap; never builds anything)."""
+        return name in self.workspaces
+
+    def runtime_ready(self, name: str) -> bool:
+        """Whether ``name``'s runtime is built for its current bundle.
+
+        A cheap probe (two dict lookups, no building): the gateway uses it
+        to keep cached-runtime resolution inline on the event loop while
+        offloading first-request/post-update builds to a worker thread.
+        """
+        try:
+            snapshot = self.workspaces.get(name)
+        except UnknownWorkspaceError:
+            return False
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(name)
+            return runtime is not None and runtime.workspace is snapshot
+
+    def register_workspace(self, name: str, **fields) -> WorkspaceHandle:
+        """Register a workspace bundle and return its handle (convenience
+        for :meth:`WorkspaceRegistry.register` + :meth:`workspace`)."""
+        self.workspaces.register(name, **fields)
+        return self.workspace(name)
+
+    def describe_workspaces(self) -> List[dict]:
+        """JSON-ready workspace summaries (the ``/v1/workspaces`` payload)."""
+        return self.workspaces.describe()
+
+    def describe_workspace(self, name: str) -> dict:
+        """JSON-ready summary of one workspace.
+
+        Reads the registry snapshot only — no runtime (pool, sessions) is
+        built, so describing a registered-but-idle tenant stays cheap.
+        """
+        return self.workspaces.get(name).describe()
+
+    @property
+    def default_workspace_name(self) -> Optional[str]:
+        """The default route for requests without a workspace, if present."""
+        name = self.workspaces.default_name
+        return name if name in self.workspaces else None
+
+    def _default_handle(self, what: str) -> WorkspaceHandle:
+        name = self.workspaces.default_name
+        if name not in self.workspaces:
+            raise ConfigError(
+                f"this engine has no {name!r} workspace, which {what} targets; "
+                f"use engine.workspace(<name>) with one of "
+                f"{list(self.workspaces.names())} or register a default"
+            )
+        return self.workspace(name)
+
+    # ------------------------------------------------------------------ default-workspace surface
+    # The historical single-catalog attribute and method surface, delegated
+    # to the default workspace so existing callers (and the parity
+    # benchmarks) are untouched by the multi-workspace redesign.
+    @property
+    def catalog(self) -> Optional[Catalog]:
+        return self._default_handle("Engine.catalog").catalog
+
+    @property
+    def views(self) -> List[LAView]:
+        return list(self._default_handle("Engine.views").views)
+
+    @property
+    def estimator(self) -> Optional[object]:
+        return self._default_handle("Engine.estimator").estimator
+
+    @property
+    def pool(self) -> PlanSessionPool:
+        return self._default_handle("Engine.pool").pool
+
+    @property
+    def router(self) -> ExecutionRouter:
+        """The default workspace's plan router (built on first use)."""
+        return self._default_handle("Engine.router").router
+
+    @property
+    def service(self) -> AnalyticsService:
+        """The default workspace's service (built on first use)."""
+        return self._default_handle("Engine.service").service
+
+    def rewrite(self, expr: mx.Expr) -> RewriteResult:
+        """Find the minimum-cost equivalent of ``expr``.
+
+        Synchronous, thread-safe, and byte-identical to the legacy
+        ``HadadOptimizer.rewrite`` path: plans in the default workspace,
+        whose pooled sessions are built from the same
+        :class:`~repro.config.PlannerConfig` the façade folds its keywords
+        into.
+        """
+        return self._default_handle("Engine.rewrite").rewrite(expr)
+
+    def rewrite_all(self, expressions: Iterable[mx.Expr]) -> List[RewriteResult]:
+        """Rewrite a batch, planning each distinct fingerprint exactly once."""
+        return self._default_handle("Engine.rewrite_all").rewrite_all(expressions)
+
+    def submit(self, item: RequestLike) -> ServiceResult:
+        """Plan (and execute, unless the request opts out) one request."""
+        return self._default_handle("Engine.submit").submit(item)
+
+    def submit_many(
+        self, items: Iterable[RequestLike], workers: Optional[int] = None
+    ) -> List[ServiceResult]:
+        """Plan a batch concurrently (``config.service.plan_workers`` wide)."""
+        return self._default_handle("Engine.submit_many").submit_many(
+            items, workers=workers
+        )
+
+    def submit_hybrid(self, query, execute: bool = True) -> ServiceResult:
+        """Route a hybrid RA+LA query through the service."""
+        return self._default_handle("Engine.submit_hybrid").submit_hybrid(
+            query, execute=execute
+        )
+
+    def execute(
+        self,
+        plan: Union[RewriteResult, mx.Expr],
+        backend: Optional[str] = None,
+        use_rewritten: bool = True,
+    ) -> RoutedExecution:
+        """Run a finished plan on an execution substrate (default workspace)."""
+        return self._default_handle("Engine.execute").execute(
+            plan, backend=backend, use_rewritten=use_rewritten
+        )
 
     # ------------------------------------------------------------------ serving
     def build_gateway(self, **overrides):
-        """The asyncio gateway over this engine's service (not yet started).
+        """The asyncio gateway over this engine's workspaces (not started).
 
         ``overrides`` patch individual :class:`~repro.config.GatewayConfig`
         fields (validated); the result is cached, so :meth:`serve` and the
-        caller observe one gateway per engine.
+        caller observe one gateway per engine.  The gateway routes
+        per-request ``workspace`` fields across every registered workspace
+        and serves ``/v1/workspaces``.
         """
         if self._gateway is None:
             from repro.server.gateway import AnalyticsGateway
@@ -250,9 +599,15 @@ class Engine:
                 if overrides
                 else self.config.gateway
             )
-            service = self.service  # resolves the catalog requirement first
+            # The gateway resolves workspace services lazily (including the
+            # default, through its own ``service`` property), so a registry
+            # holding plan-only workspaces still serves every other tenant;
+            # unservable workspaces answer 422 per request instead of
+            # failing the whole gateway here.
             with suppress_legacy_warnings():
-                self._gateway = AnalyticsGateway(service, config=gateway_config)
+                self._gateway = AnalyticsGateway(
+                    config=gateway_config, workspaces=self
+                )
         elif overrides:
             raise ConfigError(
                 "this engine already built its gateway; configure it via "
@@ -275,18 +630,42 @@ class Engine:
 
     # ------------------------------------------------------------------ derivation
     def with_views(self, views: Sequence[LAView]) -> "Engine":
-        """A new engine over the same catalog/config using another view set."""
+        """A new engine over the same catalog/config using another view set.
+
+        A default-workspace convenience (multi-workspace engines
+        reconfigure tenants through :meth:`WorkspaceRegistry.update`).
+        """
+        handle = self._default_handle("Engine.with_views")
         return Engine(
-            catalog=self.catalog,
+            catalog=handle.catalog,
             views=views,
-            estimator=self.estimator,
+            estimator=handle.estimator,
             config=self.config,
             registry=self.registry,
         )
 
     def stats_dict(self) -> dict:
-        """JSON-ready snapshot of the planning pool's counters."""
-        return self.pool.stats_dict()
+        """JSON-ready snapshot of every built workspace's pool counters.
+
+        Single-workspace engines keep the historical flat shape; engines
+        with more than one built runtime nest per-workspace summaries under
+        ``"workspaces"``.
+        """
+        registered = set(self.workspaces.names())
+        with self._runtimes_lock:
+            # Drop runtimes of workspaces removed from the registry so the
+            # snapshot never reports (or retains) deleted tenants.
+            for name in [n for n in self._runtimes if n not in registered]:
+                del self._runtimes[name]
+            runtimes = dict(self._runtimes)
+        if set(runtimes) == {self.workspaces.default_name}:
+            return runtimes[self.workspaces.default_name].pool.stats_dict()
+        return {
+            "workspaces": {
+                name: runtime.pool.stats_dict()
+                for name, runtime in sorted(runtimes.items())
+            }
+        }
 
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "WorkspaceHandle"]

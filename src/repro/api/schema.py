@@ -233,6 +233,9 @@ class PlanRequest:
     name: str = ""
     backend: Optional[str] = None
     execute: bool = True
+    #: Tenant-workspace routing: the gateway dispatches the request to this
+    #: named workspace (404 when unknown); ``None`` targets the default.
+    workspace: Optional[str] = None
 
     def to_json(self) -> dict:
         """Encode as a request body (defaults omitted)."""
@@ -243,6 +246,8 @@ class PlanRequest:
             body["backend"] = self.backend
         if not self.execute:
             body["execute"] = False
+        if self.workspace is not None:
+            body["workspace"] = self.workspace
         return body
 
     @classmethod
@@ -262,7 +267,16 @@ class PlanRequest:
         execute = body.get("execute", execute_default)
         if not isinstance(execute, bool):
             raise ProtocolError("'execute' must be a boolean")
-        return cls(expression=expression, name=name, backend=backend, execute=execute)
+        workspace = body.get("workspace")
+        if workspace is not None and (not isinstance(workspace, str) or not workspace):
+            raise ProtocolError("'workspace' must be a non-empty string")
+        return cls(
+            expression=expression,
+            name=name,
+            backend=backend,
+            execute=execute,
+            workspace=workspace,
+        )
 
     def to_service_request(self) -> ServiceRequest:
         return ServiceRequest(
@@ -270,6 +284,7 @@ class PlanRequest:
             name=self.name,
             backend=self.backend,
             execute=self.execute,
+            workspace=self.workspace,
         )
 
     @classmethod
@@ -279,6 +294,7 @@ class PlanRequest:
             name=request.name,
             backend=request.backend,
             execute=request.execute,
+            workspace=request.workspace,
         )
 
 

@@ -31,6 +31,7 @@ from repro.benchkit.harness import (
     run_pipeline,
     run_pipelines,
     run_service_sweep,
+    run_workspace_sweep,
 )
 
 __all__ = [
@@ -51,5 +52,6 @@ __all__ = [
     "run_pipeline",
     "run_pipelines",
     "run_service_sweep",
+    "run_workspace_sweep",
     "materialize_views",
 ]

@@ -387,6 +387,181 @@ def run_gateway_sweep(
     }
 
 
+def run_workspace_sweep(
+    pipelines: Sequence[Tuple[str, mx.Expr]],
+    engine_factory: Callable[[], "object"],
+    tenant_names: Sequence[str],
+    clients_per_tenant: Sequence[int] = (8,),
+    batch_windows: Sequence[float] = (0.01,),
+    requests_per_client: int = 2,
+    max_in_flight: Optional[int] = None,
+    host: str = "127.0.0.1",
+) -> dict:
+    """Multi-tenant gateway load sweep: N workspaces × M clients each.
+
+    For every ``(batch_window, clients_per_tenant)`` pair a *fresh*
+    multi-workspace engine (from ``engine_factory``) serves a fresh gateway;
+    ``clients_per_tenant`` connections open **per tenant**, each pinned to
+    its workspace via the wire ``workspace`` field, and fire their requests
+    back to back (round-robin over the pipeline batch).  Before the storm,
+    every tenant's pipelines are planned serially on a session built from
+    that tenant's own bundle (catalog, views, config); each point records
+    whether every gateway answer was byte-identical to *its own tenant's*
+    serial plan — the workspace-isolation acceptance criterion: a
+    cross-tenant cache hit would surface as a plan mismatch — plus whether
+    the tenants' plans actually diverge (proof the isolation is load-
+    bearing), peak concurrency, rejections and the per-workspace labeled
+    metric series.
+    """
+    import asyncio
+
+    from repro.planner.session import PlanSession
+    from repro.server import GatewayClient, GatewayError
+
+    pipelines = list(pipelines)
+    tenant_names = list(tenant_names)
+
+    async def run_point(window: float, concurrency: int) -> dict:
+        engine = engine_factory()
+        # Serial per-tenant references: one session per tenant, built from
+        # the tenant's own bundle exactly as the engine's pools build theirs.
+        serial_plans: Dict[str, Dict[str, str]] = {}
+        for tenant in tenant_names:
+            workspace = engine.workspaces.get(tenant)
+            session = PlanSession(
+                catalog=workspace.catalog,
+                views=list(workspace.views),
+                estimator=workspace.estimator,
+                config=workspace.config,
+            )
+            serial_plans[tenant] = {
+                name: result.best.to_string()
+                for (name, _), result in zip(
+                    pipelines, session.rewrite_all([expr for _, expr in pipelines])
+                )
+            }
+        total_clients = concurrency * len(tenant_names)
+        with suppress_legacy_warnings():
+            gateway = engine.build_gateway(
+                host=host,
+                batch_window_seconds=window,
+                max_batch=max(2, total_clients),
+                max_in_flight=max_in_flight
+                if max_in_flight is not None
+                else max(total_clients * 2, 64),
+            )
+        await gateway.start()
+        rejected = 0
+        mismatched: List[str] = []
+        answered_by_tenant = {tenant: 0 for tenant in tenant_names}
+
+        clients = await asyncio.gather(
+            *[
+                GatewayClient(host, gateway.port).connect()
+                for _ in range(total_clients)
+            ]
+        )
+
+        async def client_task(client_index: int) -> int:
+            nonlocal rejected
+            tenant = tenant_names[client_index % len(tenant_names)]
+            client = clients[client_index]
+            answered = 0
+            # Round-robin by tenant-local rank so *every* tenant covers the
+            # whole pipeline batch (and the byte-identical check therefore
+            # exercises the view-divergent pipelines on both sides).
+            rank = client_index // len(tenant_names)
+            for turn in range(requests_per_client):
+                name, expr = pipelines[
+                    (rank * requests_per_client + turn) % len(pipelines)
+                ]
+                try:
+                    response = await client.submit(
+                        expr, name=name, workspace=tenant
+                    )
+                except GatewayError as error:
+                    if error.status == 429:
+                        rejected += 1
+                        continue
+                    raise
+                answered += 1
+                answered_by_tenant[tenant] += 1
+                if response["plan"] != serial_plans[tenant][name]:
+                    mismatched.append(f"{tenant}:{name}")
+            return answered
+
+        start = time.perf_counter()
+        try:
+            answered = sum(
+                await asyncio.gather(
+                    *[client_task(i) for i in range(total_clients)]
+                )
+            )
+        finally:
+            await asyncio.gather(
+                *[client.close() for client in clients], return_exceptions=True
+            )
+        seconds = time.perf_counter() - start
+        snapshot = gateway.metrics.as_dict()
+        await gateway.stop()
+
+        workspace_series = [
+            f'gateway_workspace_requests_total{{workspace="{tenant}"}}'
+            for tenant in tenant_names
+        ]
+        plans_computed_total = sum(
+            handle_stats["plans_computed"]
+            for handle_stats in (
+                engine.workspace(tenant).stats_dict() for tenant in tenant_names
+            )
+        )
+        distinct = any(
+            len({serial_plans[tenant][name] for tenant in tenant_names}) > 1
+            for name, _ in pipelines
+        )
+        point = {
+            "batch_window_seconds": window,
+            "clients_per_tenant": int(concurrency),
+            "tenants": list(tenant_names),
+            "requests_sent": total_clients * requests_per_client,
+            "requests_answered": answered,
+            "answered_by_tenant": answered_by_tenant,
+            "tenants_served": sum(
+                1 for count in answered_by_tenant.values() if count > 0
+            ),
+            "rejected_429": rejected,
+            "seconds": seconds,
+            "requests_per_sec": answered / seconds if seconds > 0 else float("inf"),
+            "peak_in_flight": snapshot["gauges"]["gateway_in_flight_requests"]["max"],
+            "per_tenant_byte_identical": not mismatched,
+            "tenant_plans_distinct": distinct,
+            "no_rejections": rejected == 0,
+            "plans_computed_total": plans_computed_total,
+            "workspace_series_present": all(
+                series in snapshot["counters"] for series in workspace_series
+            ),
+        }
+        if mismatched:
+            point["mismatched"] = sorted(set(mismatched))
+        return point
+
+    async def run_grid() -> List[dict]:
+        points = []
+        for window in batch_windows:
+            for concurrency in clients_per_tenant:
+                points.append(await run_point(window, concurrency))
+        return points
+
+    points = asyncio.run(run_grid())
+    return {
+        "benchmark": "gateway_workspace_sweep",
+        "pipelines": [name for name, _ in pipelines],
+        "tenants": list(tenant_names),
+        "requests_per_client": requests_per_client,
+        "points": points,
+    }
+
+
 def print_report(title: str, runs: Sequence[PipelineRun]) -> str:
     """Format a block of pipeline runs as the benches print them."""
     lines = [f"== {title} =="]

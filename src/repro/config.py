@@ -127,6 +127,12 @@ class PlannerConfig:
     enable_cache: bool = True
     use_constraint_index: bool = True
     tighten_thresholds: bool = True
+    #: Registered sparsity-estimator name (``"naive"`` | ``"mnc"`` | custom);
+    #: resolved through :func:`repro.cost.resolve_estimator` when the session
+    #: is built without an explicit estimator object.  Membership is checked
+    #: at resolution (this module stays import-neutral), so a mistyped name
+    #: still fails at session/engine construction with the valid choices.
+    estimator: str = "naive"
 
     def __post_init__(self) -> None:
         name = type(self).__name__
@@ -147,6 +153,7 @@ class PlannerConfig:
         _require_int(name, "max_classes", self.max_classes, 1)
         _require_int(name, "alternatives_limit", self.alternatives_limit, 0)
         _require_int(name, "cache_size", self.cache_size, 1)
+        _require_str(name, "estimator", self.estimator)
         object.__setattr__(
             self,
             "normalized_matrices",
@@ -201,6 +208,11 @@ class GatewayConfig:
     host: str = "127.0.0.1"
     port: int = 0
     max_in_flight: int = 256
+    #: Per-workspace admission bound (tenant quota): at most this many
+    #: requests of one workspace may be in flight at once; the overflow is
+    #: answered ``429`` even when the global bound still has room.  ``0``
+    #: (the default) disables the per-tenant bound.
+    workspace_max_in_flight: int = 0
     batch_window_seconds: float = 0.005
     max_batch: int = 128
     plan_workers: int = 8
@@ -211,6 +223,7 @@ class GatewayConfig:
         _require_str(name, "host", self.host)
         _require_int(name, "port", self.port, 0, 65_535)
         _require_int(name, "max_in_flight", self.max_in_flight, 1)
+        _require_int(name, "workspace_max_in_flight", self.workspace_max_in_flight, 0)
         object.__setattr__(
             self,
             "batch_window_seconds",

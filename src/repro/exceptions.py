@@ -71,6 +71,17 @@ class ViewError(ReproError):
     non-materializable, or its definition fails shape checking)."""
 
 
+class UnknownWorkspaceError(ReproError, KeyError):
+    """Raised when a request or API call names a workspace that is not
+    registered in the :class:`repro.api.WorkspaceRegistry` being used.  The
+    message lists the registered workspace names; the gateway maps this to
+    an HTTP 404."""
+
+    # KeyError.__str__ renders repr(args[0]), which would wrap the message
+    # in an extra layer of quotes in 404 bodies and tracebacks.
+    __str__ = Exception.__str__
+
+
 class ConfigError(ReproError, ValueError):
     """Raised when a :mod:`repro.config` dataclass is constructed with an
     invalid value.  The message always names the offending field, the value

@@ -40,7 +40,7 @@ from repro.constraints import default_constraints
 from repro.constraints.core import Constraint
 from repro.constraints.views import LAView, constraints_for_views
 from repro.core.result import RewriteResult
-from repro.cost.naive_estimator import NaiveMetadataEstimator
+from repro.cost import estimator_name_for, resolve_estimator
 from repro.data.catalog import Catalog
 from repro.exceptions import UnknownMatrixError
 from repro.lang import matrix_expr as mx
@@ -115,7 +115,15 @@ class PlanSession:
 
         self.catalog = catalog
         self.views = list(views)
-        self.estimator = estimator if estimator is not None else NaiveMetadataEstimator()
+        #: The declared estimator name.  An explicit estimator *object*
+        #: wins over the config name (legacy construction path); otherwise
+        #: the name is resolved through the registry in :mod:`repro.cost`
+        #: — an unknown name raises ConfigError listing the valid choices,
+        #: here at construction rather than on the first rewrite.
+        self._declared_estimator_name = options["estimator"]
+        if estimator is None:
+            estimator = resolve_estimator(self._declared_estimator_name)
+        self.estimator = estimator
         # Remember the constructor knobs so façades can clone the session
         # (``with_views``) without silently dropping options.
         self.include_decompositions = include_decompositions
@@ -267,6 +275,16 @@ class PlanSession:
         self.invalidate()
 
     # ------------------------------------------------------------------ configuration view
+    @property
+    def estimator_name(self) -> str:
+        """The registered name of the live estimator.
+
+        Reverse-resolved from the registry so that swapping the estimator
+        object (the legacy façade setter) is reflected; estimator objects of
+        unregistered types keep the declared config name.
+        """
+        return estimator_name_for(self.estimator) or self._declared_estimator_name
+
     def current_config(self) -> PlannerConfig:
         """The session's *live* options as a frozen :class:`PlannerConfig`.
 
@@ -296,6 +314,7 @@ class PlanSession:
             enable_cache=self.enable_cache,
             use_constraint_index=self.engine.use_index,
             tighten_thresholds=self.tighten_thresholds,
+            estimator=self.estimator_name,
         )
 
     @property

@@ -99,16 +99,23 @@ class GatewayClient:
         backend: Optional[str] = None,
         execute: bool = False,
         raise_on_error: bool = True,
+        workspace: Optional[str] = None,
     ) -> dict:
         """POST one expression; returns the response payload.
 
         ``execute=False`` goes to ``/v1/plan``, ``execute=True`` to
-        ``/v1/pipeline``.  Non-2xx answers raise :class:`GatewayError`
-        unless ``raise_on_error=False`` (then the payload gains a
-        ``"status"`` key and is returned as-is).
+        ``/v1/pipeline``.  ``workspace`` routes the request to that named
+        tenant workspace (the gateway answers ``404`` for unknown names);
+        ``None`` targets the gateway's default workspace.  Non-2xx answers
+        raise :class:`GatewayError` unless ``raise_on_error=False`` (then
+        the payload gains a ``"status"`` key and is returned as-is).
         """
         body = PlanRequest(
-            expression=expression, name=name, backend=backend, execute=execute
+            expression=expression,
+            name=name,
+            backend=backend,
+            execute=execute,
+            workspace=workspace,
         ).to_json()
         path = "/v1/pipeline" if execute else "/v1/plan"
         status, payload = await self.request("POST", path, body)
@@ -124,10 +131,13 @@ class GatewayClient:
         name: str = "",
         backend: Optional[str] = None,
         execute: bool = False,
+        workspace: Optional[str] = None,
     ) -> PlanResponse:
         """Like :meth:`submit`, but re-typed as a
         :class:`~repro.api.schema.PlanResponse` (2xx only; errors raise)."""
-        payload = await self.submit(expression, name=name, backend=backend, execute=execute)
+        payload = await self.submit(
+            expression, name=name, backend=backend, execute=execute, workspace=workspace
+        )
         return PlanResponse.from_json(payload)
 
     async def plan(self, expression: mx.Expr, name: str = "", **kwargs) -> dict:
@@ -135,6 +145,19 @@ class GatewayClient:
 
     async def execute(self, expression: mx.Expr, name: str = "", **kwargs) -> dict:
         return await self.submit(expression, name=name, execute=True, **kwargs)
+
+    async def workspaces(self, name: Optional[str] = None) -> dict:
+        """``GET /v1/workspaces`` (or ``/v1/workspaces/<name>``).
+
+        The listing carries the default workspace name and one description
+        per registered workspace; describing an unknown name raises
+        :class:`GatewayError` with status 404.
+        """
+        path = "/v1/workspaces" if name is None else f"/v1/workspaces/{name}"
+        status, payload = await self.request("GET", path)
+        if status != 200:
+            raise GatewayError(status, payload)
+        return payload
 
     async def metrics_text(self) -> str:
         status, payload = await self.request("GET", "/metrics")

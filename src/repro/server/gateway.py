@@ -1,29 +1,42 @@
-"""The asyncio serving gateway in front of :class:`AnalyticsService`.
+"""The asyncio serving gateway in front of tenant workspaces.
 
 ``AnalyticsGateway`` is the network front door the ROADMAP's production
 story needs: stdlib-asyncio HTTP/JSON serving, micro-batched planning, and
-the three production behaviours a load balancer assumes:
+the production behaviours a load balancer assumes:
 
 * **admission control** — at most ``max_in_flight`` requests are admitted
   at once; request number ``max_in_flight + 1`` is answered ``429 Too Many
   Requests`` immediately (with a ``Retry-After`` hint) instead of queueing
-  without bound;
+  without bound.  With ``workspace_max_in_flight`` set, each tenant
+  workspace additionally gets its own admission quota, so one noisy tenant
+  cannot starve the others;
+* **workspace routing** — a request body naming a ``workspace`` is
+  dispatched to that tenant's service (its own catalog, views, planner
+  config and caches); unknown names are answered ``404``.  Requests
+  without the field route to the default workspace.  Each workspace plans
+  through its own :class:`MicroBatcher`, so tenants micro-batch
+  independently and one tenant's slow plans never ride in another's batch;
 * **graceful drain** — :meth:`stop` stops accepting connections, lets every
-  admitted request finish (flushing the batcher), then closes; requests
-  arriving on open connections during the drain get ``503``;
+  admitted request finish (flushing every workspace's batcher), then
+  closes; requests arriving on open connections during the drain get
+  ``503``;
 * **observability** — ``GET /metrics`` renders the full registry in the
-  Prometheus text format, ``GET /healthz`` answers a JSON liveness
-  document.
+  Prometheus text format, including per-workspace labeled series
+  (``gateway_workspace_requests_total{workspace="tenant-a"}``); ``GET
+  /healthz`` answers a JSON liveness document.
 
 Endpoints
 ---------
 ``POST /v1/plan``
-    Body ``{"expression": <tree>, "name"?, "backend"?, "execute"?}`` (see
-    :mod:`repro.server.protocol`).  ``execute`` defaults to **false** here:
-    the endpoint answers with the plan and timings only.
+    Body ``{"expression": <tree>, "name"?, "backend"?, "execute"?,
+    "workspace"?}`` (see :mod:`repro.server.protocol`).  ``execute``
+    defaults to **false** here: the endpoint answers with the plan and
+    timings only.
 ``POST /v1/pipeline``
     Same body; ``execute`` defaults to **true** — the plan is routed to a
     backend and the (size-capped) value rides back on the response.
+``GET /v1/workspaces`` / ``GET /v1/workspaces/<name>``
+    List every registered workspace / describe one (``404`` when unknown).
 ``GET /metrics`` / ``GET /healthz``
     Exposition and liveness.
 """
@@ -31,10 +44,12 @@ Endpoints
 from __future__ import annotations
 
 import asyncio
-from typing import Optional, Set
+import weakref
+from typing import Dict, Optional, Set, Tuple
 
-from repro._compat import warn_legacy_entry_point
+from repro._compat import DEFAULT_WORKSPACE, warn_legacy_entry_point
 from repro.config import GatewayConfig
+from repro.exceptions import ConfigError, UnknownWorkspaceError
 from repro.service.service import AnalyticsService, BatchStats
 
 from repro.server.batcher import BatcherClosed, MicroBatcher
@@ -50,35 +65,104 @@ from repro.server.protocol import (
 )
 
 
+class _SingleWorkspaceResolver:
+    """Give a bare :class:`AnalyticsService` the multi-workspace surface.
+
+    The legacy ``AnalyticsGateway(service)`` construction serves exactly
+    one tenant; this adapter presents it as a registry holding one
+    workspace (named after the service's own workspace identity, or
+    ``"default"``), so the gateway's routing, listing and metrics code has
+    a single shape to work against.  It doubles as that workspace's handle.
+    """
+
+    def __init__(self, service: AnalyticsService):
+        self._service = service
+        self._name = service.workspace or DEFAULT_WORKSPACE
+
+    @property
+    def default_workspace_name(self) -> str:
+        return self._name
+
+    def workspace_names(self) -> Tuple[str, ...]:
+        return (self._name,)
+
+    def has_workspace(self, name: str) -> bool:
+        return name == self._name
+
+    def workspace(self, name: str) -> "_SingleWorkspaceResolver":
+        if name != self._name:
+            raise UnknownWorkspaceError(
+                f"unknown workspace {name!r}; registered workspaces: {self._name}"
+            )
+        return self
+
+    @property
+    def service(self) -> AnalyticsService:
+        return self._service
+
+    @property
+    def pool(self):
+        return self._service.pool
+
+    def describe(self) -> dict:
+        # Delegate to the canonical document producer so the single-service
+        # gateway can never drift from Workspace.describe()'s shape.
+        from repro.api.workspace import Workspace
+
+        return Workspace(
+            name=self._name,
+            catalog=self._service.catalog,
+            views=tuple(self._service.views),
+            config=self._service.pool.planner_config,
+        ).describe()
+
+    def describe_workspace(self, name: str) -> dict:
+        return self.workspace(name).describe()
+
+    def describe_workspaces(self) -> list:
+        return [self.describe()]
+
+
 class AnalyticsGateway:
-    """Serve one :class:`AnalyticsService` over asyncio-native HTTP/JSON.
+    """Serve tenant workspaces over asyncio-native HTTP/JSON.
 
     Parameters
     ----------
     service:
-        The synchronous service doing planning/execution.
+        A single synchronous service to serve (the legacy single-tenant
+        construction; it becomes the gateway's only — and default —
+        workspace).  May be ``None`` when ``workspaces`` is given and the
+        registry has no default workspace.
+    workspaces:
+        A multi-workspace resolver — typically the
+        :class:`repro.api.Engine` — exposing ``workspace_names()``,
+        ``workspace(name)`` (returning a handle with ``.service`` and
+        ``.pool``), ``describe_workspaces()``, ``describe_workspace(name)``
+        and ``default_workspace_name``.  This is the path
+        :meth:`repro.api.Engine.serve` takes.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (exposed as
         :attr:`port` after :meth:`start` — what the tests and the load
         harness use).
     max_in_flight:
-        Admission-control bound on concurrently admitted requests.
+        Global admission-control bound on concurrently admitted requests
+        (``GatewayConfig.workspace_max_in_flight`` adds per-tenant quotas).
     batch_window_seconds / max_batch / plan_workers:
-        Micro-batching knobs, forwarded to :class:`MicroBatcher`.
+        Micro-batching knobs, applied to every workspace's
+        :class:`MicroBatcher`.
     config:
         A frozen, validated :class:`~repro.config.GatewayConfig`; when
-        given it supersedes the individual keyword knobs.  This is the
-        path :meth:`repro.api.Engine.serve` takes.
+        given it supersedes the individual keyword knobs.
 
     .. deprecated::
         Constructing ``AnalyticsGateway`` directly is a legacy entry
         point; ``await repro.api.Engine.serve()`` builds, configures and
-        starts this same class bound to the engine's service.
+        starts this same class bound to the engine's workspaces.
     """
 
     def __init__(
         self,
-        service: AnalyticsService,
+        service: Optional[AnalyticsService] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_in_flight: int = 256,
@@ -87,8 +171,13 @@ class AnalyticsGateway:
         plan_workers: int = 8,
         backlog: int = 2048,
         config: Optional[GatewayConfig] = None,
+        workspaces=None,
     ):
         warn_legacy_entry_point("AnalyticsGateway", "repro.api.Engine.serve")
+        if service is None and workspaces is None:
+            raise ValueError(
+                "AnalyticsGateway needs a service or a workspace resolver"
+            )
         if config is None:
             # The keyword path folds into the same validated config object,
             # so both construction paths share one source of truth.
@@ -102,7 +191,9 @@ class AnalyticsGateway:
                 backlog=backlog,
             )
         self.config = config
-        self.service = service
+        self.workspaces = (
+            workspaces if workspaces is not None else _SingleWorkspaceResolver(service)
+        )
         self.host = config.host
         self._requested_port = config.port
         #: Listen backlog sized for connect storms: the load sweep opens
@@ -111,17 +202,26 @@ class AnalyticsGateway:
         #: retransmits that silently serialize the storm.
         self.backlog = config.backlog
         self.max_in_flight = config.max_in_flight
+        self.workspace_max_in_flight = config.workspace_max_in_flight
         self.metrics = MetricsRegistry()
-        self.batcher = MicroBatcher(
-            service,
-            window_seconds=config.batch_window_seconds,
-            max_batch=config.max_batch,
-            plan_workers=config.plan_workers,
-            metrics=self.metrics,
-        )
+        #: One micro-batcher per workspace, created on first request so a
+        #: thousand registered tenants cost nothing until they talk.
+        self._batchers: Dict[str, MicroBatcher] = {}
+        #: Drain tasks of batchers replaced by a workspace update; strong
+        #: references (the loop keeps only weak ones) so an in-flight drain
+        #: is never garbage-collected, and :meth:`stop` can await them.
+        self._stale_batcher_drains: Set[asyncio.Task] = set()
+        #: Services whose batch hook is already registered.  A weak *set*
+        #: (not ids): membership is object identity, entries vanish with
+        #: their service, and a recycled id can never mask a new service.
+        self._hooked_services: "weakref.WeakSet[AnalyticsService]" = weakref.WeakSet()
+        #: Per-workspace labeled instruments, resolved once per workspace
+        #: instead of through the registry lock on every request.
+        self._workspace_instruments: Dict[str, dict] = {}
         self._server: Optional[asyncio.Server] = None
         self._draining = False
         self._in_flight = 0
+        self._workspace_in_flight: Dict[str, int] = {}
         self._idle = asyncio.Event()
         self._idle.set()
         #: Open connection writers, so :meth:`stop` can close idle
@@ -152,6 +252,10 @@ class AnalyticsGateway:
         )
         self._protocol_errors_total = self.metrics.counter(
             "gateway_protocol_errors_total", "Malformed requests (400/404/405)"
+        )
+        self._unknown_workspace_total = self.metrics.counter(
+            "gateway_unknown_workspace_total",
+            "Requests naming an unregistered workspace (404)",
         )
         self._plan_failures_total = self.metrics.counter(
             "gateway_plan_failures_total", "Requests whose expression failed to plan"
@@ -189,7 +293,188 @@ class AnalyticsGateway:
             "service_cache_hits_total",
             "Batch requests served from a cached or deduped plan",
         )
-        service.add_batch_hook(self._observe_batch)
+        if service is not None:
+            self._hook_service(service)
+
+    @property
+    def service(self) -> Optional[AnalyticsService]:
+        """The default workspace's *current* service.
+
+        Resolved through the workspace surface on every access — never
+        pinned — so a registry update of the default workspace is
+        reflected here and ``/healthz`` / :meth:`stats_dict` cannot report
+        a superseded pool.  ``None`` when there is no default workspace,
+        its runtime was never built (nothing to report yet), or it has no
+        catalog.
+        """
+        default = self.workspaces.default_workspace_name
+        if default is None:
+            return None
+        probe = getattr(self.workspaces, "runtime_ready", None)
+        if probe is not None and not probe(default):
+            return None
+        try:
+            return self.workspaces.workspace(default).service
+        except (UnknownWorkspaceError, ConfigError):
+            return None
+
+    # ------------------------------------------------------------------ workspaces
+    def _instruments_for(self, workspace_name: str) -> dict:
+        """This workspace's labeled instruments, resolved once and cached.
+
+        The admit/release/observe hot path reuses these handles instead of
+        re-walking the (locked) registry on every request.
+        """
+        instruments = self._workspace_instruments.get(workspace_name)
+        if instruments is None:
+            labels = {"workspace": workspace_name}
+            instruments = {
+                "requests": self.metrics.counter(
+                    "gateway_workspace_requests_total",
+                    "Requests admitted, per workspace",
+                    labels=labels,
+                ),
+                "rejected": self.metrics.counter(
+                    "gateway_workspace_rejected_total",
+                    "Requests rejected by a per-workspace quota (429)",
+                    labels=labels,
+                ),
+                "in_flight": self.metrics.gauge(
+                    "gateway_workspace_in_flight",
+                    "Admitted, unanswered requests per workspace",
+                    labels=labels,
+                ),
+                "total_seconds": self.metrics.histogram(
+                    "gateway_workspace_total_seconds",
+                    "Per-request end-to-end latency, per workspace",
+                    labels=labels,
+                ),
+            }
+            self._workspace_instruments[workspace_name] = instruments
+        return instruments
+
+    def _drain_in_background(self, batcher: MicroBatcher) -> None:
+        """Flush a replaced/reaped batcher without blocking the caller.
+
+        The task is strongly referenced until done (the loop keeps only
+        weak references) and awaited by :meth:`stop`, so accepted requests
+        always complete.
+        """
+        drain = asyncio.get_running_loop().create_task(batcher.drain())
+        self._stale_batcher_drains.add(drain)
+        drain.add_done_callback(self._stale_batcher_drains.discard)
+
+    def _unknown_workspace_response(self, error: object, keep_alive: bool) -> bytes:
+        """The canonical unknown-workspace ``404`` (counted as a 4xx)."""
+        self._unknown_workspace_total.inc()
+        self._responses_4xx.inc()
+        return json_response(
+            404,
+            {
+                "error": str(error),
+                "workspaces": list(self.workspaces.workspace_names()),
+            },
+            keep_alive=keep_alive,
+        )
+
+    def _hook_service(self, service: AnalyticsService) -> None:
+        if service not in self._hooked_services:
+            service.add_batch_hook(self._observe_batch)
+            self._hooked_services.add(service)
+
+    def _batcher_for(self, workspace_name: str, handle) -> MicroBatcher:
+        """This workspace's micro-batcher (built on first request).
+
+        A workspace update swaps the underlying service; the stale batcher
+        is then drained in the background (requests it already accepted all
+        complete) and replaced, so requests after the update plan against
+        the new bundle.
+        """
+        batcher = self._batchers.get(workspace_name)
+        service = handle.service
+        if batcher is not None and batcher.service is not service:
+            self._drain_in_background(batcher)
+            batcher = None
+        if batcher is None:
+            self._hook_service(service)
+            batcher = MicroBatcher(
+                service,
+                window_seconds=self.config.batch_window_seconds,
+                max_batch=self.config.max_batch,
+                plan_workers=self.config.plan_workers,
+                metrics=self.metrics,
+            )
+            self._batchers[workspace_name] = batcher
+        return batcher
+
+    def _reap_workspace(self, name: str) -> None:
+        """Drop the per-workspace state of a workspace no longer registered.
+
+        Called when a lookup raises :class:`UnknownWorkspaceError` — the
+        same reap-on-access discipline the engine applies to its runtimes,
+        so tenant churn on a long-lived gateway never accumulates batchers
+        (with their services, pools and cached plans), instruments or
+        in-flight counters for deleted tenants.  The labeled series are
+        removed from the registry too, so ``/metrics`` stops rendering a
+        deleted tenant instead of exposing its stale values forever.
+        """
+        batcher = self._batchers.pop(name, None)
+        if batcher is not None:
+            self._drain_in_background(batcher)
+        self._workspace_instruments.pop(name, None)
+        # Keep a non-zero in-flight count: requests of the removed bundle
+        # still draining must stay visible to the quota of a re-registered
+        # same-name tenant (the entry empties through _release).
+        if not self._workspace_in_flight.get(name):
+            self._workspace_in_flight.pop(name, None)
+        for metric in (
+            "gateway_workspace_requests_total",
+            "gateway_workspace_rejected_total",
+            "gateway_workspace_in_flight",
+            "gateway_workspace_total_seconds",
+        ):
+            self.metrics.remove_series(metric, labels={"workspace": name})
+
+    def _route_name(self, requested: Optional[str]) -> str:
+        """The workspace name a request routes to (``None`` → the default).
+
+        A missing default raises :class:`UnknownWorkspaceError`; existence
+        of a *named* workspace is checked separately (cheaply) by
+        :meth:`_workspace_exists` before admission.
+        """
+        if requested is None:
+            default = self.workspaces.default_workspace_name
+            if default is None:
+                known = ", ".join(self.workspaces.workspace_names()) or "<none>"
+                raise UnknownWorkspaceError(
+                    f"this gateway has no default workspace; name one of: {known}"
+                )
+            requested = default
+        return requested
+
+    def _workspace_exists(self, name: str) -> bool:
+        probe = getattr(self.workspaces, "has_workspace", None)
+        if probe is not None:
+            return bool(probe(name))
+        return name in self.workspaces.workspace_names()
+
+    async def _resolve_handle(self, name: str):
+        """This workspace's handle — resolved after admission.
+
+        Resolving a cached runtime is two dict lookups and stays inline; a
+        first-request (or post-update) resolution *builds* the runtime —
+        an eager pool whose prototype session compiles the constraint
+        program — and is offloaded to a worker thread so one tenant's
+        build never stalls the event loop for every other tenant.  (The
+        caller admitted the request *before* this await, so the build
+        window cannot be used to slip past admission control.)
+        """
+        probe = getattr(self.workspaces, "runtime_ready", None)
+        if probe is not None and not probe(name):
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.workspaces.workspace, name
+            )
+        return self.workspaces.workspace(name)
 
     # ------------------------------------------------------------------ lifecycle
     @property
@@ -234,7 +519,12 @@ class AnalyticsGateway:
                 await waiter
         except asyncio.TimeoutError:
             pass
-        await self.batcher.drain()
+        while self._stale_batcher_drains:
+            await asyncio.gather(
+                *list(self._stale_batcher_drains), return_exceptions=True
+            )
+        for batcher in list(self._batchers.values()):
+            await batcher.drain()
         # Every admitted request is answered by now; the remaining
         # connections are idle keep-alive clients whose handlers sit in
         # readline.  Close their transports so the handlers return —
@@ -306,14 +596,13 @@ class AnalyticsGateway:
                 return self._method_not_allowed(keep_alive)
             return json_response(
                 200 if not self._draining else 503,
-                {
-                    "status": "draining" if self._draining else "ok",
-                    "in_flight": self._in_flight,
-                    "max_in_flight": self.max_in_flight,
-                    "pool": self.service.pool.stats_dict(),
-                },
+                self._health_document(),
                 keep_alive=keep_alive,
             )
+        if request.path == "/v1/workspaces" or request.path.startswith("/v1/workspaces/"):
+            if request.method != "GET":
+                return self._method_not_allowed(keep_alive)
+            return self._handle_workspaces(request.path, keep_alive)
         if request.path in ("/v1/plan", "/v1/pipeline"):
             if request.method != "POST":
                 return self._method_not_allowed(keep_alive)
@@ -328,6 +617,44 @@ class AnalyticsGateway:
     def _method_not_allowed(self, keep_alive: bool) -> bytes:
         self._protocol_errors_total.inc()
         return json_response(405, {"error": "method not allowed"}, keep_alive=keep_alive)
+
+    def _health_document(self) -> dict:
+        default = self.workspaces.default_workspace_name
+        document = {
+            "status": "draining" if self._draining else "ok",
+            "in_flight": self._in_flight,
+            "max_in_flight": self.max_in_flight,
+            "workspaces": list(self.workspaces.workspace_names()),
+            "default_workspace": default,
+        }
+        if self.service is not None:
+            document["pool"] = self.service.pool.stats_dict()
+        return document
+
+    def _handle_workspaces(self, path: str, keep_alive: bool) -> bytes:
+        """``GET /v1/workspaces`` (list) and ``/v1/workspaces/<name>``."""
+        suffix = path[len("/v1/workspaces"):].strip("/")
+        if not suffix:
+            return json_response(
+                200,
+                {
+                    "default": self.workspaces.default_workspace_name,
+                    "workspaces": self.workspaces.describe_workspaces(),
+                },
+                keep_alive=keep_alive,
+            )
+        try:
+            # Registry snapshot only — describing a registered-but-idle
+            # tenant must not build its runtime (pool, prototype session).
+            description = self.workspaces.describe_workspace(suffix)
+        except UnknownWorkspaceError as exc:
+            self._reap_workspace(suffix)
+            return self._unknown_workspace_response(exc, keep_alive)
+        description = dict(description)
+        description["in_flight"] = self._workspace_in_flight.get(suffix, 0)
+        if self.workspace_max_in_flight:
+            description["max_in_flight"] = self.workspace_max_in_flight
+        return json_response(200, description, keep_alive=keep_alive)
 
     async def _handle_submit(self, request: HttpRequest, execute_default: bool) -> bytes:
         keep_alive = request.keep_alive
@@ -353,12 +680,62 @@ class AnalyticsGateway:
             self._protocol_errors_total.inc()
             return json_response(400, {"error": str(exc)}, keep_alive=keep_alive)
 
-        self._admit()
         try:
-            result = await self.batcher.submit(service_request)
+            workspace_name = self._route_name(service_request.workspace)
+            if not self._workspace_exists(workspace_name):
+                known = ", ".join(self.workspaces.workspace_names()) or "<none>"
+                raise UnknownWorkspaceError(
+                    f"unknown workspace {workspace_name!r}; "
+                    f"registered workspaces: {known}"
+                )
+        except UnknownWorkspaceError as exc:
+            if service_request.workspace is not None:
+                self._reap_workspace(service_request.workspace)
+            return self._unknown_workspace_response(exc, keep_alive)
+        if (
+            self.workspace_max_in_flight
+            and self._workspace_in_flight.get(workspace_name, 0)
+            >= self.workspace_max_in_flight
+        ):
+            self._rejected_total.inc()
+            self._instruments_for(workspace_name)["rejected"].inc()
+            return json_response(
+                429,
+                {
+                    "error": f"workspace {workspace_name!r} is over its quota",
+                    "workspace": workspace_name,
+                    "workspace_max_in_flight": self.workspace_max_in_flight,
+                },
+                keep_alive=keep_alive,
+                extra_headers={"retry-after": "0"},
+            )
+
+        # Admitted BEFORE any await: requests parked on a cold-start
+        # runtime build count against (and are bounded by) the in-flight
+        # bounds exactly like requests parked in a batcher.
+        instruments = self._admit(workspace_name)
+        try:
+            handle = await self._resolve_handle(workspace_name)
+            result = await self._batcher_for(workspace_name, handle).submit(
+                service_request
+            )
+        except UnknownWorkspaceError as exc:
+            # Removed between the existence check and resolution.
+            self._reap_workspace(workspace_name)
+            return self._unknown_workspace_response(exc, keep_alive)
         except BatcherClosed:
             self._drain_rejected_total.inc()
             return json_response(503, {"error": "gateway is draining"}, keep_alive=False)
+        except ConfigError as exc:
+            # A plan-only workspace (registered without a catalog) cannot
+            # go through the service path; a well-formed request against it
+            # is the client's condition to resolve, not a server error.
+            self._responses_4xx.inc()
+            return json_response(
+                422,
+                {"error": str(exc), "workspace": workspace_name},
+                keep_alive=keep_alive,
+            )
         except Exception as exc:
             self._responses_5xx.inc()
             return json_response(
@@ -367,7 +744,7 @@ class AnalyticsGateway:
                 keep_alive=keep_alive,
             )
         finally:
-            self._release()
+            self._release(workspace_name, instruments)
 
         payload = result_to_json(result)
         planner_failed = any(who == "planner" for who, _ in result.failures)
@@ -378,30 +755,53 @@ class AnalyticsGateway:
         if result.request.execute and result.value is None and result.failures:
             self._responses_5xx.inc()
             return json_response(500, payload, keep_alive=keep_alive)
-        self._observe_result(result)
+        self._observe_result(result, workspace_name, instruments)
         self._responses_2xx.inc()
         return json_response(200, payload, keep_alive=keep_alive)
 
     # ------------------------------------------------------------------ accounting
-    def _admit(self) -> None:
+    def _admit(self, workspace_name: str) -> dict:
+        """Count one request in; returns the workspace's instrument epoch.
+
+        The caller hands the returned handle back to :meth:`_release` /
+        :meth:`_observe_result`, which touch it only while it is still the
+        live epoch — a request outliving its tenant's reap (and even a
+        same-name re-registration) can then never resurrect removed series
+        or drive a fresh tenant's gauge negative.
+        """
         self._in_flight += 1
         self._requests_total.inc()
         self._in_flight_gauge.inc()
+        self._workspace_in_flight[workspace_name] = (
+            self._workspace_in_flight.get(workspace_name, 0) + 1
+        )
+        instruments = self._instruments_for(workspace_name)
+        instruments["requests"].inc()
+        instruments["in_flight"].inc()
         self._idle.clear()
+        return instruments
 
-    def _release(self) -> None:
+    def _release(self, workspace_name: str, instruments: dict) -> None:
         self._in_flight -= 1
         self._in_flight_gauge.dec()
+        if workspace_name in self._workspace_in_flight:
+            self._workspace_in_flight[workspace_name] = max(
+                0, self._workspace_in_flight[workspace_name] - 1
+            )
+        if self._workspace_instruments.get(workspace_name) is instruments:
+            instruments["in_flight"].dec()
         if self._in_flight == 0:
             self._idle.set()
 
-    def _observe_result(self, result) -> None:
+    def _observe_result(self, result, workspace_name: str, instruments: dict) -> None:
         if result.rewrite.cache_hit:
             self._cache_hits_total.inc()
         self._queue_seconds.observe(result.queue_seconds)
         self._plan_seconds.observe(result.plan_seconds)
         self._execute_seconds.observe(result.execute_seconds)
         self._total_seconds.observe(result.total_seconds)
+        if self._workspace_instruments.get(workspace_name) is instruments:
+            instruments["total_seconds"].observe(result.total_seconds)
 
     def _observe_batch(self, stats: BatchStats) -> None:
         # Arrives from the submit_many caller thread via the service batch
@@ -415,13 +815,22 @@ class AnalyticsGateway:
     # ------------------------------------------------------------------ summaries
     def stats_dict(self) -> dict:
         """JSON-ready snapshot for benchmarks: metrics + pool counters."""
-        return {
+        summary = {
             "metrics": self.metrics.as_dict(),
-            "pool": self.service.pool.stats_dict(),
             "max_in_flight": self.max_in_flight,
-            "batch_window_seconds": self.batcher.window_seconds,
-            "max_batch": self.batcher.max_batch,
+            "workspace_max_in_flight": self.workspace_max_in_flight,
+            "batch_window_seconds": self.config.batch_window_seconds,
+            "max_batch": self.config.max_batch,
         }
+        if self.service is not None:
+            summary["pool"] = self.service.pool.stats_dict()
+        pools = {
+            name: batcher.service.pool.stats_dict()
+            for name, batcher in sorted(self._batchers.items())
+        }
+        if pools:
+            summary["workspace_pools"] = pools
+        return summary
 
 
 def run_gateway(gateway: AnalyticsGateway) -> None:

@@ -27,7 +27,11 @@ LRU cache, so N concurrent planners must not share one.  The
 The pool never inspects expression semantics; keys come from
 :meth:`PlanSession.cache_key`, i.e. *(expression fingerprint, view-set key,
 catalog version)*, so a catalog change implicitly invalidates shared plans
-exactly as it does per-session ones.
+exactly as it does per-session ones.  A pool built for a tenant workspace
+additionally prefixes every key with its ``workspace`` identity — two
+tenants can therefore never share a cached plan even if their pools were
+ever handed the same underlying cache, while identical *(fingerprint,
+view-set, config)* requests still dedup within one tenant.
 """
 
 from __future__ import annotations
@@ -86,6 +90,11 @@ class PlanSessionPool:
         least-recently-released session.
     result_cache_size:
         Capacity of the pool-level shared :class:`RewriteCache`.
+    workspace:
+        Workspace identity prefixed to every shared-cache key (empty for
+        the classic single-tenant pool).  The multi-workspace engine passes
+        ``"<name>@v<version>"`` so plans cached for one tenant — or one
+        version of a tenant's bundle — can never be served to another.
     """
 
     def __init__(
@@ -93,10 +102,12 @@ class PlanSessionPool:
         session_factory: SessionFactory,
         max_sessions: int = 8,
         result_cache_size: int = 1024,
+        workspace: str = "",
     ):
         if max_sessions <= 0:
             raise ValueError("PlanSessionPool max_sessions must be positive")
         self._factory = session_factory
+        self.workspace = str(workspace)
         self.max_sessions = int(max_sessions)
         self._lock = threading.Lock()
         #: Idle sessions of the current generation, oldest release first
@@ -194,6 +205,19 @@ class PlanSessionPool:
         with self._lock:
             return len(self._idle)
 
+    @property
+    def estimator_name(self) -> str:
+        """The registered estimator name every pooled session plans with
+        (read off the prototype; public so describe surfaces need not
+        reach into pool internals)."""
+        return self._prototype.estimator_name
+
+    @property
+    def planner_config(self):
+        """The live :class:`~repro.config.PlannerConfig` snapshot every
+        pooled session is built from (read off the prototype)."""
+        return self._prototype.current_config()
+
     @contextmanager
     def checkout(self) -> Iterator[PlanSession]:
         """``with pool.checkout() as session:`` — acquire/release guard."""
@@ -204,6 +228,15 @@ class PlanSessionPool:
             self.release(session)
 
     # ------------------------------------------------------------------ planning
+    def _shared_key(self, expr: mx.Expr) -> CacheKey:
+        """The shared-cache key: the session key prefixed by the workspace.
+
+        The workspace component makes tenant isolation structural — a key
+        computed for one workspace cannot collide with another's even under
+        identical fingerprints, view sets, catalog versions and options.
+        """
+        return (self.workspace, *self._prototype.cache_key(expr))
+
     def plan(self, expr: mx.Expr) -> RewriteResult:
         """Rewrite ``expr``, planning each distinct cache key exactly once.
 
@@ -226,7 +259,7 @@ class PlanSessionPool:
             # Key computation (expression fingerprint + view-set key) is
             # read-only on the prototype and safe concurrently; keeping it
             # outside the lock stops it from serializing every planner.
-            key = self._prototype.cache_key(expr)
+            key = self._shared_key(expr)
             with self._lock:
                 cached = self.results.get(key)
                 if cached is not None:
@@ -254,7 +287,7 @@ class PlanSessionPool:
                     # the catalog changed mid-plan, the result reflects the
                     # new generation and must not be served to probes of
                     # the old one (they will miss and replan instead).
-                    self.results.put(self._prototype.cache_key(expr), result.copy())
+                    self.results.put(self._shared_key(expr), result.copy())
                     self.stats.plans_computed += 1
                 return result
             finally:
@@ -273,6 +306,8 @@ class PlanSessionPool:
             summary = self.stats.as_dict()
             summary["idle_sessions"] = len(self._idle)
             summary["result_cache"] = self.results.stats()
+            if self.workspace:
+                summary["workspace"] = self.workspace
         return summary
 
 

@@ -57,12 +57,20 @@ class ServiceRequest:
     execute:
         When False the request is plan-only: the service returns the
         rewriting and timings but never touches backend kernels.
+    workspace:
+        Optional tenant-workspace name.  Routing happens *above* this
+        layer — the multi-workspace :class:`repro.api.Engine` and the
+        gateway dispatch each request to the named workspace's service —
+        so by the time a request reaches one ``AnalyticsService`` the field
+        is an identity tag (echoed on results, used in metrics labels),
+        not a dispatch instruction.  ``None`` means the default workspace.
     """
 
     expression: mx.Expr
     name: str = ""
     backend: Optional[str] = None
     execute: bool = True
+    workspace: Optional[str] = None
 
 
 @dataclass
@@ -193,11 +201,16 @@ class AnalyticsService:
         policy: Optional[RoutingPolicy] = None,
         config: Optional[ServiceConfig] = None,
         planner: Optional[PlannerConfig] = None,
+        workspace: str = "",
     ):
         warn_legacy_entry_point("AnalyticsService", "repro.api.Engine")
         self.catalog = catalog
         self.views = list(views)
         self.config = config
+        #: Workspace identity of this service ("" = single-tenant legacy
+        #: use).  Forwarded to the default pool so shared-cache keys carry
+        #: the tenant, and exposed for gateway metrics labels.
+        self.workspace = str(workspace)
         options = dict(session_options or {})
         if planner is not None:
             overlap = sorted({f.name for f in dataclass_fields(PlannerConfig)} & set(options))
@@ -217,6 +230,7 @@ class AnalyticsService:
                 lambda: PlanSession(catalog, views=self.views, **options),
                 max_sessions=max_sessions,
                 result_cache_size=result_cache_size,
+                workspace=self.workspace,
             )
         self.pool = pool
         self.router = router if router is not None else ExecutionRouter(catalog, policy=policy)

@@ -31,6 +31,7 @@ result together with the change that moved it::
     PYTHONHASHSEED=0 python benchmarks/bench_rewrite_cache.py > rewrite-cache-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_service_throughput.py > service-throughput-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py > gateway-sweep-summary.json
+    PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py --workspaces > gateway-workspace-summary.json
     python tools/check_perf.py --update *.json
 
 ``--update`` rewrites ``benchmarks/baselines/*.json`` from the given
@@ -102,6 +103,28 @@ TRACKED: Dict[str, List[Metric]] = {
         Metric("acceptance.requests_per_sec", "threshold", minimum=500.0),
         # Dedup at the gateway: duplicate requests answered per batch leader.
         Metric("acceptance.pool.plans_computed", "ratio", direction="lower"),
+    ],
+    "gateway_workspace_sweep": [
+        # Multi-tenant serving: >= 2 workspaces served concurrently through
+        # one gateway, every answer byte-identical to its *own* tenant's
+        # serial plans (a cross-tenant cache hit would break this), and the
+        # tenants' plan sets provably distinct (the isolation is load-
+        # bearing, not vacuous).
+        Metric("acceptance.tenants_served", "threshold", minimum=2.0),
+        Metric("acceptance.per_tenant_byte_identical", "flag"),
+        Metric("acceptance.tenant_plans_distinct", "flag"),
+        Metric("acceptance.workspace_series_present", "flag"),
+        Metric("acceptance.no_rejections", "flag"),
+        # Both tenants' request waves overlap in flight (2 tenants × 12
+        # clients; an absolute floor tolerant of slow runners).
+        Metric("acceptance.peak_in_flight", "threshold", minimum=16.0),
+        # Wall-clock throughput floor, an order of magnitude under a 1-core
+        # dev box's ~470 req/s for the same reason as the single-tenant
+        # storm's floor.
+        Metric("acceptance.requests_per_sec", "threshold", minimum=40.0),
+        # Per-tenant planning is deduped within each workspace: never more
+        # plans than tenants × distinct pipelines.
+        Metric("acceptance.plans_computed_total", "ratio", direction="lower"),
     ],
 }
 
