@@ -1,0 +1,59 @@
+"""Worker side of the parallel chase.
+
+The parallel saturation engine (``SaturationEngine`` with
+``chase_workers > 1``) splits each round into two halves:
+
+1. **Matching** (parallel, read-only, here): every trigger-independent
+   constraint group (:meth:`~repro.chase.program.ConstraintProgram.parallel_groups`)
+   is shipped to a worker process together with a pickled snapshot of the
+   round-start instance; the worker runs the homomorphism search for each
+   constraint premise and returns the raw bindings.
+2. **Merging** (serial, deterministic, in the engine): the bindings come
+   back and are applied in constraint-position order through exactly the
+   serial application path — standard-chase ``is_satisfied`` re-checks
+   against the *live* instance, pruner checks, fresh-class allocation,
+   congruence maintenance.  A binding whose conclusion became satisfied by
+   an earlier merge is simply a no-op, so concurrent groups never race.
+
+Only the expensive, side-effect-free half leaves the process; everything
+that mutates the instance stays in the parent, where determinism is easy.
+
+Everything in this module must stay picklable under the ``spawn`` start
+method: module-level functions only, payloads built from atoms/instances
+(which define ``__reduce__`` / ``__getstate__``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.chase.homomorphism import Binding, find_instance_matches
+from repro.vrem.atoms import Atom
+from repro.vrem.instance import VremInstance
+
+#: One matching job: constraint position plus its premise conjunction.
+MatchJob = Tuple[int, Tuple[Atom, ...]]
+
+
+def match_premises(
+    instance: VremInstance,
+    jobs: Sequence[MatchJob],
+) -> List[Tuple[int, List[Binding]]]:
+    """Run the premise homomorphism search for one constraint group.
+
+    Pure function of the snapshot: no mutation, no fresh classes — the
+    engine re-validates and applies every binding against the live
+    instance during the merge step.
+    """
+    results: List[Tuple[int, List[Binding]]] = []
+    for position, premise in jobs:
+        results.append((position, list(find_instance_matches(premise, instance))))
+    return results
+
+
+def match_premises_packed(
+    payload: Tuple[VremInstance, Tuple[MatchJob, ...]],
+) -> List[Tuple[int, List[Dict]]]:
+    """`ProcessPoolExecutor.map`-friendly single-argument wrapper."""
+    instance, jobs = payload
+    return match_premises(instance, jobs)

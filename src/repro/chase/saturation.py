@@ -13,6 +13,23 @@ This is the chase of §6.3 as extended by §7.3 (PACB++ / Prune_prov):
 * hard budgets on rounds, atoms and classes bound the work even for
   non-terminating constraint sets.
 
+Two orthogonal accelerations keep the fixpoint identical while skipping
+work:
+
+* **Semi-naive delta matching** (``use_index=True``): beyond skipping
+  constraints whose trigger relations are unchanged, a re-attempted
+  constraint only searches for matches that touch the *delta* — the atoms
+  added or re-canonicalised (and classes newly shaped) since its previous
+  attempt, read off the instance's append-only delta logs.  Anything else
+  was already found, applied, satisfied, or pruned last time; the chase is
+  monotone, so none of those outcomes can revert.
+* **Parallel matching** (``chase_workers > 1``): per round, the premise
+  homomorphism searches of trigger-independent constraint groups run in a
+  process pool against the round-start snapshot; the resulting bindings are
+  merged serially in constraint order with the exact same applicability /
+  pruning checks as the serial path.  The serial path (the default) is
+  byte-identical to previous releases.
+
 The saturated instance is then handed to the extraction step
 (:mod:`repro.core.extraction`), which plays the role of the provenance-based
 enumeration of minimal rewritings.
@@ -20,13 +37,19 @@ enumeration of minimal rewritings.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.core import Constraint, EGD, TGD
-from repro.chase.homomorphism import Binding, find_instance_matches, is_satisfied
-from repro.chase.program import ConstraintProgram
+from repro.chase.homomorphism import (
+    Binding,
+    find_delta_matches,
+    find_instance_matches,
+    is_satisfied,
+)
+from repro.chase.program import CompiledConstraint, ConstraintProgram
 from repro.exceptions import ChaseBudgetExceeded, ChaseError
 from repro.vrem.atoms import Atom, Const, Var
 from repro.vrem.instance import VremInstance
@@ -50,6 +73,13 @@ class CostThresholdPruner:
     plan's cost.  ``pruned_by_tightening`` counts the applications rejected
     *only* because of tightening (i.e. the initial threshold would still have
     admitted them) — the extra pruning the dynamic bound buys.
+
+    Instances are safe to share across concurrently-planning sessions: the
+    check-then-write in :meth:`tighten` (and the counter bumps in
+    :meth:`record_pruned`) happen under a lock, so two sessions tightening
+    at once can never regress the threshold upward or lose counter
+    increments.  ``allows`` / ``allowed_initially`` read a single attribute
+    (an atomic read) and stay lock-free on the hot path.
     """
 
     def __init__(self, threshold: float):
@@ -58,6 +88,7 @@ class CostThresholdPruner:
         self.pruned_applications = 0
         self.pruned_by_tightening = 0
         self.tightenings = 0
+        self._lock = threading.Lock()
 
     def allows(self, shape: Optional[Shape]) -> bool:
         """Whether an intermediate of the given shape may be materialised."""
@@ -74,9 +105,17 @@ class CostThresholdPruner:
     def tighten(self, new_threshold: float) -> None:
         """Lower the threshold (monotonically) as better rewritings are found."""
         new_threshold = float(new_threshold)
-        if new_threshold < self.threshold:
-            self.threshold = new_threshold
-            self.tightenings += 1
+        with self._lock:
+            if new_threshold < self.threshold:
+                self.threshold = new_threshold
+                self.tightenings += 1
+
+    def record_pruned(self, by_tightening: bool) -> None:
+        """Count one pruned application (thread-safely)."""
+        with self._lock:
+            self.pruned_applications += 1
+            if by_tightening:
+                self.pruned_by_tightening += 1
 
 
 @dataclass
@@ -102,6 +141,19 @@ class SaturationResult:
     constraints_skipped: int = 0
     #: The pruner's threshold when saturation finished (None without pruning).
     final_threshold: Optional[float] = None
+    #: Premise bindings considered across all constraint attempts (the raw
+    #: volume the homomorphism search produced; semi-naive matching shrinks
+    #: this without changing the fixpoint).
+    matches_attempted: int = 0
+    #: Net new atoms created by TGD applications.
+    atoms_materialized: int = 0
+    #: Constraint attempts that searched only the delta (semi-naive) rather
+    #: than the full instance.
+    delta_attempts: int = 0
+    #: Rounds whose premise matching ran in the worker pool.
+    parallel_rounds: int = 0
+    #: Trigger-independent constraint groups (0 when never partitioned).
+    constraint_groups: int = 0
 
 
 class SaturationEngine:
@@ -115,8 +167,15 @@ class SaturationEngine:
 
     With ``use_index=True`` (the default) each round only attempts the
     constraints whose premise trigger relations actually changed since the
-    constraint was last attempted; the reached fixpoint is identical to the
-    unindexed chase, only the dormant homomorphism searches are skipped.
+    constraint was last attempted, and a re-attempt only matches against the
+    delta; the reached fixpoint is identical to the unindexed chase, only
+    the dormant or already-performed homomorphism searches are skipped.
+
+    With ``chase_workers > 1`` the premise matching of independent
+    constraint groups runs in a process pool (see
+    :mod:`repro.chase.parallel`); applications are merged serially and
+    deterministically.  ``chase_workers=1`` (the default) never touches the
+    pool machinery.
     """
 
     def __init__(
@@ -127,6 +186,9 @@ class SaturationEngine:
         max_classes: int = 8_000,
         raise_on_budget: bool = False,
         use_index: bool = True,
+        chase_workers: int = 1,
+        use_delta: bool = True,
+        use_instance_index: bool = True,
     ):
         self.program = ConstraintProgram.coerce(constraints)
         self.constraints = self.program.constraints
@@ -135,6 +197,36 @@ class SaturationEngine:
         self.max_classes = max_classes
         self.raise_on_budget = raise_on_budget
         self.use_index = use_index
+        self.chase_workers = max(1, int(chase_workers))
+        #: Semi-naive delta matching on re-attempts; off = full re-search
+        #: (the benchmark's reference configuration).  Requires use_index.
+        self.use_delta = use_delta
+        #: Positional-index candidate lookup in the matcher; off = linear
+        #: relation scans (the pre-optimization matcher, kept only as
+        #: ``bench_saturation.py``'s reference configuration).
+        self.use_instance_index = use_instance_index
+        self._pool = None
+
+    # ------------------------------------------------------------------ pool
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.chase_workers, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for the serial engine)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # ------------------------------------------------------------------ helpers
     @staticmethod
@@ -182,34 +274,44 @@ class SaturationEngine:
         return shapes
 
     # ------------------------------------------------------------------ TGDs
-    def _apply_tgd(
+    def _apply_tgd_bindings(
         self,
         tgd: TGD,
         instance: VremInstance,
         pruner: Optional[CostThresholdPruner],
         stats: SaturationResult,
+        matches: Iterable[Binding],
     ) -> int:
+        """Apply precomputed premise bindings (the serial merge half)."""
         applications = 0
-        matches = list(find_instance_matches(tgd.premise, instance))
         for binding in matches:
-            if is_satisfied(tgd.conclusion, instance, binding):
+            stats.matches_attempted += 1
+            if is_satisfied(
+                tgd.conclusion, instance, binding, indexed=self.use_instance_index
+            ):
                 continue
             if pruner is not None:
                 new_shapes = self._conclusion_new_shapes(tgd, binding, instance)
                 blocked = [shape for shape in new_shapes if not pruner.allows(shape)]
                 if blocked:
-                    pruner.pruned_applications += 1
+                    by_tightening = all(
+                        pruner.allowed_initially(shape) for shape in blocked
+                    )
+                    pruner.record_pruned(by_tightening)
                     stats.pruned_applications += 1
-                    if all(pruner.allowed_initially(shape) for shape in blocked):
-                        pruner.pruned_by_tightening += 1
+                    if by_tightening:
                         stats.pruned_by_tightening += 1
                     continue
             fresh: Dict[Var, int] = {}
+            before = instance.num_atoms()
             for atom in tgd.conclusion:
                 args = tuple(
                     self._resolve_term(term, binding, fresh, instance) for term in atom.args
                 )
                 instance.add_atom(atom.relation, args, provenance=(tgd.name,))
+            grown = instance.num_atoms() - before
+            if grown > 0:
+                stats.atoms_materialized += grown
             applications += 1
             stats.applications_by_constraint[tgd.name] = (
                 stats.applications_by_constraint.get(tgd.name, 0) + 1
@@ -229,10 +331,16 @@ class SaturationEngine:
         instance.set_scalar_value(cid, float(value))
         return cid
 
-    def _apply_egd(self, egd: EGD, instance: VremInstance, stats: SaturationResult) -> int:
+    def _apply_egd_bindings(
+        self,
+        egd: EGD,
+        instance: VremInstance,
+        stats: SaturationResult,
+        matches: Iterable[Binding],
+    ) -> int:
         applications = 0
-        matches = list(find_instance_matches(egd.premise, instance))
         for binding in matches:
+            stats.matches_attempted += 1
             for left, right in egd.equalities:
                 left_value = binding.get(left, left) if isinstance(left, Var) else left
                 right_value = binding.get(right, right) if isinstance(right, Var) else right
@@ -283,6 +391,14 @@ class SaturationEngine:
         # Keyed by position, not name: ad-hoc constraint lists may carry
         # duplicate names, and collapsing them here would skip real work.
         last_stamp: Dict[int, Tuple[int, ...]] = {}
+        # Semi-naive watermarks: how far into the instance's delta logs each
+        # constraint position has already searched.  A position absent from
+        # ``delta_marks`` has never been attempted and gets a full search.
+        delta_marks: Dict[int, Dict[str, int]] = {}
+        shape_marks: Dict[int, int] = {}
+        parallel = self.chase_workers > 1 and len(self.program.parallel_groups()) > 1
+        if parallel:
+            stats.constraint_groups = len(self.program.parallel_groups())
 
         def finish() -> SaturationResult:
             stats.elapsed_seconds = time.perf_counter() - start
@@ -293,36 +409,121 @@ class SaturationEngine:
                 stats.threshold_tightenings = pruner.tightenings
             return stats
 
+        def premise_delta(
+            compiled: CompiledConstraint, position: int
+        ) -> Optional[Tuple[Dict[str, List[Atom]], List[int]]]:
+            """Delta slices for a re-attempt, or None for a first/full search.
+
+            Also None when the delta is a large fraction of the trigger
+            relations: seeding a search per delta atom then costs more than
+            one well-ordered full search, so semi-naive restriction is only
+            worth it while the delta is selective (the late-round regime it
+            exists for)."""
+            if not self.use_index or not self.use_delta or position not in delta_marks:
+                return None
+            marks = delta_marks[position]
+            delta: Dict[str, List[Atom]] = {}
+            delta_size = 0
+            total_size = 0
+            for relation in compiled.trigger_relations:
+                log = instance.relation_log(relation)
+                consumed = marks.get(relation, 0)
+                total_size += instance.atom_count(relation)
+                if consumed < len(log):
+                    delta[relation] = log[consumed:]
+                    delta_size += len(log) - consumed
+            shaped: List[int] = []
+            if compiled.uses_shapes:
+                shaped = instance.shape_log()[shape_marks.get(position, 0) :]
+                delta_size += len(shaped)
+                total_size += instance.shaped_class_count()
+            if delta_size * 4 > total_size:
+                return None
+            return delta, shaped
+
+        def note_attempt(compiled: CompiledConstraint, position: int) -> None:
+            """Record pre-attempt watermarks (the attempt consumes up to here)."""
+            delta_marks[position] = {
+                relation: len(instance.relation_log(relation))
+                for relation in compiled.trigger_relations
+            }
+            shape_marks[position] = len(instance.shape_log())
+
+        def collect_matches(compiled: CompiledConstraint, position: int) -> List[Binding]:
+            premise = compiled.constraint.premise
+            sliced = premise_delta(compiled, position)
+            note_attempt(compiled, position)
+            if sliced is None:
+                return list(
+                    find_instance_matches(
+                        premise, instance, indexed=self.use_instance_index
+                    )
+                )
+            stats.delta_attempts += 1
+            delta, shaped = sliced
+            if not delta and not shaped:
+                return []
+            return list(find_delta_matches(premise, instance, delta, shaped))
+
+        def apply_matches(
+            compiled: CompiledConstraint, matches: List[Binding]
+        ) -> int:
+            constraint = compiled.constraint
+            if isinstance(constraint, TGD):
+                applications = self._apply_tgd_bindings(
+                    constraint, instance, pruner, stats, matches
+                )
+                stats.tgd_applications += applications
+            elif isinstance(constraint, EGD):
+                applications = self._apply_egd_bindings(
+                    constraint, instance, stats, matches
+                )
+                stats.egd_applications += applications
+            else:  # pragma: no cover - defensive
+                raise ChaseError(f"unsupported constraint type {type(constraint).__name__}")
+            return applications
+
+        def over_budget() -> bool:
+            return (
+                instance.num_atoms() > self.max_atoms
+                or instance.num_classes() > self.max_classes
+            )
+
         for round_index in range(self.max_rounds):
             stats.rounds = round_index + 1
             changed = 0
-            for position, compiled in enumerate(self.program.compiled):
-                if self.use_index:
-                    stamp = compiled.stamp(instance)
-                    if last_stamp.get(position) == stamp:
-                        stats.constraints_skipped += 1
-                        continue
-                    # Record the pre-attempt stamp: applications made by this
-                    # very constraint bump the versions past it, correctly
-                    # re-queueing recursive constraints for the next round.
-                    last_stamp[position] = stamp
-                constraint = compiled.constraint
-                if isinstance(constraint, TGD):
-                    applications = self._apply_tgd(constraint, instance, pruner, stats)
-                    stats.tgd_applications += applications
-                elif isinstance(constraint, EGD):
-                    applications = self._apply_egd(constraint, instance, stats)
-                    stats.egd_applications += applications
-                else:  # pragma: no cover - defensive
-                    raise ChaseError(f"unsupported constraint type {type(constraint).__name__}")
-                changed += applications
-                if instance.num_atoms() > self.max_atoms or instance.num_classes() > self.max_classes:
+            if parallel:
+                changed = self._parallel_round(
+                    instance, stats, last_stamp, delta_marks, collect_matches,
+                    note_attempt, apply_matches, over_budget,
+                )
+                if changed < 0:  # budget exceeded inside the round
                     if self.raise_on_budget:
                         raise ChaseBudgetExceeded(
                             f"saturation exceeded budget: atoms={instance.num_atoms()}, "
                             f"classes={instance.num_classes()}"
                         )
                     return finish()
+            else:
+                for position, compiled in enumerate(self.program.compiled):
+                    if self.use_index:
+                        stamp = compiled.stamp(instance)
+                        if last_stamp.get(position) == stamp:
+                            stats.constraints_skipped += 1
+                            continue
+                        # Record the pre-attempt stamp: applications made by this
+                        # very constraint bump the versions past it, correctly
+                        # re-queueing recursive constraints for the next round.
+                        last_stamp[position] = stamp
+                    matches = collect_matches(compiled, position)
+                    changed += apply_matches(compiled, matches)
+                    if over_budget():
+                        if self.raise_on_budget:
+                            raise ChaseBudgetExceeded(
+                                f"saturation exceeded budget: atoms={instance.num_atoms()}, "
+                                f"classes={instance.num_classes()}"
+                            )
+                        return finish()
             if changed == 0:
                 stats.reached_fixpoint = True
                 break
@@ -331,3 +532,108 @@ class SaturationEngine:
                 if bound is not None:
                     pruner.tighten(bound)
         return finish()
+
+    # ------------------------------------------------------------------ parallel
+    def _parallel_round(
+        self,
+        instance: VremInstance,
+        stats: SaturationResult,
+        last_stamp: Dict[int, Tuple[int, ...]],
+        delta_marks: Dict[int, Dict[str, int]],
+        collect_matches,
+        note_attempt,
+        apply_matches,
+        over_budget,
+    ) -> int:
+        """One saturation round with speculative pooled premise matching.
+
+        The pool runs the expensive *full* (first-attempt) premise searches
+        against the round-start snapshot; the merge sweep then replays the
+        exact serial round — same constraint order, same stamp checks, same
+        application path — substituting a speculative result only when the
+        constraint's trigger state is still byte-for-byte what the worker
+        saw.  A constraint whose triggers were written by an earlier merge
+        this round is recomputed live instead, so mid-round visibility (and
+        with it the reached state under round budgets) matches the serial
+        engine exactly.  Returns the number of applications, or -1 when a
+        budget tripped.
+        """
+        from repro.chase.parallel import match_premises
+
+        compiled_list = self.program.compiled
+
+        def trigger_signature(compiled: CompiledConstraint) -> Tuple:
+            lengths = tuple(
+                len(instance.relation_log(relation))
+                for relation in compiled.trigger_relations
+            )
+            if compiled.uses_shapes:
+                return lengths + (len(instance.shape_log()),)
+            return lengths
+
+        # ---- speculation pass: read-only, no stats, no watermark writes.
+        # Only never-attempted positions are shipped: their full homomorphism
+        # search is the expensive half; delta re-attempts are cheap locally.
+        ship = [
+            position
+            for position, compiled in enumerate(compiled_list)
+            if position not in delta_marks
+            and not (self.use_index and last_stamp.get(position) == compiled.stamp(instance))
+        ]
+        speculative: Dict[int, List[Binding]] = {}
+        signatures: Dict[int, Tuple] = {}
+        if ship:
+            shipset = set(ship)
+            jobs_by_group = []
+            for group in self.program.parallel_groups():
+                jobs = [
+                    (position, tuple(compiled_list[position].constraint.premise))
+                    for position in group
+                    if position in shipset
+                ]
+                if jobs:
+                    jobs_by_group.append(jobs)
+            for position in ship:
+                signatures[position] = trigger_signature(compiled_list[position])
+            if len(jobs_by_group) == 1:
+                # One active group: the pool round-trip buys nothing.
+                for position, bindings in match_premises(instance, jobs_by_group[0]):
+                    speculative[position] = bindings
+            else:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(match_premises, instance, jobs)
+                    for jobs in jobs_by_group
+                ]
+                for future in futures:
+                    for position, bindings in future.result():
+                        speculative[position] = bindings
+                stats.parallel_rounds += 1
+
+        # ---- merge sweep: the serial round, with speculation as fast path.
+        changed = 0
+        for position, compiled in enumerate(compiled_list):
+            if self.use_index:
+                stamp = compiled.stamp(instance)
+                if last_stamp.get(position) == stamp:
+                    stats.constraints_skipped += 1
+                    continue
+                last_stamp[position] = stamp
+            if (
+                position in speculative
+                and trigger_signature(compiled) == signatures[position]
+            ):
+                note_attempt(compiled, position)
+                matches = speculative[position]
+            else:
+                matches = collect_matches(compiled, position)
+            changed += apply_matches(compiled, matches)
+            if over_budget():
+                return -1
+        return changed
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

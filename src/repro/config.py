@@ -127,6 +127,12 @@ class PlannerConfig:
     enable_cache: bool = True
     use_constraint_index: bool = True
     tighten_thresholds: bool = True
+    #: Worker processes for the parallel chase: independent constraint
+    #: groups have their premise matching evaluated concurrently per
+    #: saturation round.  ``1`` (the default) is the serial engine,
+    #: byte-identical to previous releases; values > 1 must still extract
+    #: identical plans (enforced by ``bench_saturation.py``'s acceptance).
+    chase_workers: int = 1
     #: Registered sparsity-estimator name (``"naive"`` | ``"mnc"`` | custom);
     #: resolved through :func:`repro.cost.resolve_estimator` when the session
     #: is built without an explicit estimator object.  Membership is checked
@@ -153,6 +159,7 @@ class PlannerConfig:
         _require_int(name, "max_classes", self.max_classes, 1)
         _require_int(name, "alternatives_limit", self.alternatives_limit, 0)
         _require_int(name, "cache_size", self.cache_size, 1)
+        _require_int(name, "chase_workers", self.chase_workers, 1)
         _require_str(name, "estimator", self.estimator)
         object.__setattr__(
             self,

@@ -40,7 +40,7 @@ class Expr:
 
     op: str = "expr"
     arity: int = 0
-    __slots__ = ("_children", "_payload", "_hash", "_fingerprint")
+    __slots__ = ("_children", "_payload", "_hash", "_fingerprint", "_canonical_fp")
 
     def __init__(self, children: Tuple["Expr", ...] = (), payload: Tuple = ()):
         for child in children:
@@ -53,6 +53,7 @@ class Expr:
         self._payload = tuple(payload)
         self._hash = hash((self.op, self._children, self._payload))
         self._fingerprint = None
+        self._canonical_fp = None
 
     # -- structural identity -------------------------------------------------
     @property
@@ -93,6 +94,45 @@ class Expr:
                 digest.update(bytes.fromhex(child.fingerprint()))
             fp = digest.hexdigest()
             self._fingerprint = fp
+        return fp
+
+    #: Operators whose operands commute; ``canonical_fingerprint`` sorts their
+    #: child digests so both operand orders share one canonical form.  Must
+    #: stay aligned with ``COMMUTATIVE_RELATIONS`` in :mod:`repro.vrem.instance`
+    #: (the congruence keys that hash-cons both orders to one class).
+    COMMUTATIVE_OPS = frozenset({"add_m", "multi_e"})
+
+    def canonical_fingerprint(self) -> str:
+        """Structural fingerprint modulo commutativity.
+
+        Like :meth:`fingerprint`, but the child digests of commutative
+        operators (``A + B``, elementwise ``A * B``) are sorted before
+        hashing, so ``A + B`` and ``B + A`` share one canonical fingerprint.
+        This mirrors the VREM encoder's canonical construction: both orders
+        hash-cons to the same equivalence class, so they always extract the
+        same plan.  ``fingerprint()`` equality implies ``canonical_fingerprint``
+        equality, never the reverse.
+        """
+        fp = self._canonical_fp
+        if fp is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(b"canon\x00")
+            digest.update(self.op.encode("utf-8"))
+            digest.update(b"\x00")
+            for item in self._payload:
+                digest.update(type(item).__name__.encode("utf-8"))
+                digest.update(repr(item).encode("utf-8"))
+                digest.update(b"\x01")
+            digest.update(b"\x02")
+            child_digests = [
+                bytes.fromhex(child.canonical_fingerprint()) for child in self._children
+            ]
+            if self.op in Expr.COMMUTATIVE_OPS:
+                child_digests.sort()
+            for blob in child_digests:
+                digest.update(blob)
+            fp = digest.hexdigest()
+            self._canonical_fp = fp
         return fp
 
     def __eq__(self, other) -> bool:

@@ -72,6 +72,7 @@ class PlanSession:
         enable_cache: bool = True,
         use_constraint_index: bool = True,
         tighten_thresholds: bool = True,
+        chase_workers: int = 1,
         stages: Optional[Sequence[Stage]] = None,
         config: Optional[PlannerConfig] = None,
     ):
@@ -96,6 +97,7 @@ class PlanSession:
                 enable_cache=enable_cache,
                 use_constraint_index=use_constraint_index,
                 tighten_thresholds=tighten_thresholds,
+                chase_workers=chase_workers,
             )
         options = config.session_kwargs()
         include_decompositions = options["include_decompositions"]
@@ -112,6 +114,7 @@ class PlanSession:
         enable_cache = options["enable_cache"]
         use_constraint_index = options["use_constraint_index"]
         tighten_thresholds = options["tighten_thresholds"]
+        chase_workers = options["chase_workers"]
 
         self.catalog = catalog
         self.views = list(views)
@@ -159,6 +162,7 @@ class PlanSession:
             max_atoms=max_atoms,
             max_classes=max_classes,
             use_index=use_constraint_index,
+            chase_workers=chase_workers,
         )
         self.stages: Tuple[Stage, ...] = tuple(stages) if stages is not None else DEFAULT_STAGES
         self.enable_cache = enable_cache
@@ -173,6 +177,7 @@ class PlanSession:
             include_morpheus_rules,
             include_view_voi,
             use_constraint_index,
+            chase_workers,
         )
 
     # ------------------------------------------------------------------ setup
@@ -243,6 +248,7 @@ class PlanSession:
             max_atoms=self.max_atoms,
             max_classes=self.max_classes,
             use_index=self.engine.use_index,
+            chase_workers=self.engine.chase_workers,
         )
         self.invalidate()
 
@@ -314,6 +320,7 @@ class PlanSession:
             enable_cache=self.enable_cache,
             use_constraint_index=self.engine.use_index,
             tighten_thresholds=self.tighten_thresholds,
+            chase_workers=self.engine.chase_workers,
             estimator=self.estimator_name,
         )
 
@@ -481,6 +488,7 @@ class PlanSession:
             enable_cache=self.enable_cache,
             use_constraint_index=self.engine.use_index,
             tighten_thresholds=self.tighten_thresholds,
+            chase_workers=self.engine.chase_workers,
         )
 
 

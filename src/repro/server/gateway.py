@@ -269,6 +269,14 @@ class AnalyticsGateway:
         self._cache_hits_total = self.metrics.counter(
             "gateway_cache_hits_total", "Requests answered by a cached/shared plan"
         )
+        self._chase_pruned_total = self.metrics.counter(
+            "repro_chase_pruned_total",
+            "Chase applications rejected by the cost-threshold pruner",
+        )
+        self._chase_pruned_tightening_total = self.metrics.counter(
+            "repro_chase_pruned_by_tightening_total",
+            "Chase applications rejected only because the threshold tightened",
+        )
         self._queue_seconds = self.metrics.histogram(
             "gateway_queue_seconds", "Per-request queue phase"
         )
@@ -796,6 +804,15 @@ class AnalyticsGateway:
     def _observe_result(self, result, workspace_name: str, instruments: dict) -> None:
         if result.rewrite.cache_hit:
             self._cache_hits_total.inc()
+        else:
+            # Cache hits reuse a plan whose saturation already ran (and was
+            # already counted); only fresh rewrites contribute prune counts.
+            saturation = getattr(result.rewrite, "saturation", None)
+            if saturation is not None:
+                self._chase_pruned_total.inc(saturation.pruned_applications)
+                self._chase_pruned_tightening_total.inc(
+                    saturation.pruned_by_tightening
+                )
         self._queue_seconds.observe(result.queue_seconds)
         self._plan_seconds.observe(result.plan_seconds)
         self._execute_seconds.observe(result.execute_seconds)

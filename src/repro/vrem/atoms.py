@@ -8,29 +8,79 @@ Three kinds of terms appear in atoms:
   literals and structural type tags;
 * **variables** — :class:`Var`, used only inside constraints (TGDs / EGDs)
   and conjunctive queries, never inside a ground instance.
+
+All three are immutable value objects with **cached hashes**: atoms are the
+keys of every index the congruence closure and the homomorphism matcher
+maintain, so hashing them is the single hottest primitive of the chase.
+Ground atoms are additionally *hash-consed* per instance (see
+:meth:`repro.vrem.instance.VremInstance`): structurally equal atoms are one
+object, which turns the equality checks inside set/dict probes into pointer
+comparisons.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Dict, Tuple, Union
 
 
-@dataclass(frozen=True)
 class Const:
     """A constant term (matrix name, scalar value, type tag, dimension)."""
 
-    value: object
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: object):
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((Const, value)))
+
+    def __setattr__(self, name, _value):  # pragma: no cover - immutability guard
+        raise AttributeError(f"Const is immutable; cannot set {name!r}")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Const) and self.value == other.value
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # __slots__ + the immutability guard break default pickling; rebuild
+        # through the constructor (also re-derives the cached hash, which is
+        # not stable across processes for str values).
+        return (Const, (self.value,))
 
     def __repr__(self) -> str:
         return f"~{self.value!r}"
 
 
-@dataclass(frozen=True)
 class Var:
     """A variable term; only meaningful inside constraints and queries."""
 
-    name: str
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((Var, name)))
+
+    def __setattr__(self, name, _value):  # pragma: no cover - immutability guard
+        raise AttributeError(f"Var is immutable; cannot set {name!r}")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Var) and self.name == other.name
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"?{self.name}"
@@ -39,12 +89,37 @@ class Var:
 Term = Union[int, Const, Var]
 
 
-@dataclass(frozen=True)
 class Atom:
     """A (possibly non-ground) atom ``relation(arg_1, ..., arg_n)``."""
 
-    relation: str
-    args: Tuple[Term, ...]
+    __slots__ = ("relation", "args", "_hash")
+
+    def __init__(self, relation: str, args: Tuple[Term, ...]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((relation, self.args)))
+
+    def __setattr__(self, name, _value):  # pragma: no cover - immutability guard
+        raise AttributeError(f"Atom is immutable; cannot set {name!r}")
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.relation == other.relation
+            and self.args == other.args
+        )
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Atom, (self.relation, self.args))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(arg) for arg in self.args)
@@ -57,6 +132,38 @@ class Atom:
     def variables(self) -> Tuple[Var, ...]:
         """The variables occurring in the atom, in argument order."""
         return tuple(arg for arg in self.args if isinstance(arg, Var))
+
+
+class AtomInterner:
+    """Per-instance hash-consing table for ground atoms.
+
+    :meth:`intern` returns *the* canonical :class:`Atom` object for a
+    (relation, args) pair, allocating it on first sight.  The table is keyed
+    by the atom's own hashable identity, so interning an already-canonical
+    atom is a single dict probe; after a class merge the re-canonicalised
+    atom hash-conses to a (possibly pre-existing) new object and the stale
+    one is simply dropped from the table.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[str, Tuple[Term, ...]], Atom] = {}
+
+    def intern(self, relation: str, args: Tuple[Term, ...]) -> Atom:
+        key = (relation, args)
+        atom = self._table.get(key)
+        if atom is None:
+            atom = Atom(relation, args)
+            self._table[key] = atom
+        return atom
+
+    def discard(self, atom: Atom) -> None:
+        """Forget a stale (pre-merge) canonical form."""
+        self._table.pop((atom.relation, atom.args), None)
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 def make_atom(relation: str, *args: Term) -> Atom:

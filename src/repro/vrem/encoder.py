@@ -81,9 +81,8 @@ class LAEncoder:
         return cid
 
     def _encode_scalar_const(self, expr: mx.ScalarConst) -> int:
-        for atom in self.instance.atoms("scalar_const"):
-            if atom.args[1] == Const(expr.value):
-                return self.instance.find(atom.args[0])
+        for atom in self.instance.atoms_with("scalar_const", 1, Const(expr.value)):
+            return self.instance.find(atom.args[0])
         cid = self.instance.new_class()
         self.instance.add_atom("scalar_const", (cid, Const(expr.value)), (self.provenance,))
         self.instance.set_shape(cid, (1, 1))
@@ -91,9 +90,8 @@ class LAEncoder:
         return cid
 
     def _encode_scalar_ref(self, expr: mx.ScalarRef) -> int:
-        for atom in self.instance.atoms("scalar_name"):
-            if atom.args[1] == Const(expr.name):
-                return self.instance.find(atom.args[0])
+        for atom in self.instance.atoms_with("scalar_name", 1, Const(expr.name)):
+            return self.instance.find(atom.args[0])
         cid = self.instance.new_class()
         self.instance.add_atom("scalar_name", (cid, Const(expr.name)), (self.provenance,))
         self.instance.set_shape(cid, (1, 1))

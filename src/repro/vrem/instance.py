@@ -8,10 +8,31 @@ incrementally as a congruence: whenever two atoms of a functional relation
 agree on their canonical input arguments, their output classes are merged,
 and after every merge the instance re-canonicalises itself to a fixpoint.
 
+Three structural invariants keep the chase hot path fast:
+
+* **Hash-consing** — every stored atom is interned: one canonical
+  :class:`~repro.vrem.atoms.Atom` object per (relation, canonical args)
+  pair, with a cached hash, so index probes cost a pointer comparison.
+* **Canonical commutative keys** — the congruence table keys commutative
+  operation relations (``add_m``, ``multi_e``, scalar ``add_s`` /
+  ``multi_s``) on the *sorted* input multiset, so ``A + B`` and ``B + A``
+  hash-cons to the same output class at construction time instead of
+  waiting for the commutativity TGD to merge them.
+* **Incremental repair** — a class merge re-canonicalises only the atoms
+  that actually mention the retired class (found through a per-class
+  occurrence index), not the whole instance; this is the e-graph ``repair``
+  step, and it turns the former O(instance) rebuild-per-union into
+  O(delta).
+
 Besides the atoms, the instance tracks per-class *shape* metadata (the
 ``size`` relation of Table 1), optional known scalar values and, per atom, a
 set of provenance labels recording which constraint or encoding step
 introduced it — the information the provenance-aware backchase reads off.
+For the semi-naive chase the instance also keeps append-only **delta logs**
+(per relation, plus one for newly shaped classes): every atom added or
+re-canonicalised is appended, so the saturation engine can restrict
+premise matching to what actually changed since a constraint's last attempt
+(:meth:`relation_log`, :meth:`shape_log`).
 """
 
 from __future__ import annotations
@@ -20,22 +41,39 @@ from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ChaseError
-from repro.vrem.atoms import Atom, Const, Var
+from repro.vrem.atoms import Atom, AtomInterner, Const, Var
 from repro.vrem.schema import VREM_SCHEMA, infer_output_shapes, relation_spec
 
 Shape = Tuple[int, int]
 Term = object  # int (class ID) or Const
 
+#: Operation relations whose inputs commute: the congruence key uses the
+#: sorted input multiset so both operand orders share one output class.
+COMMUTATIVE_RELATIONS = frozenset({"add_m", "multi_e", "add_s", "multi_s"})
+
+
+def _term_sort_key(term: Term) -> Tuple[int, object]:
+    """Total order over ground terms, for canonical commutative keys."""
+    if isinstance(term, int):
+        return (0, term)
+    return (1, repr(term))
+
 
 class VremInstance:
     """Congruence-closed set of ground VREM atoms over equivalence classes."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._parent: Dict[int, int] = {}
         self._next_id = 0
+        self._num_classes = 0
+        self._interner = AtomInterner()
         self._atom_provenance: Dict[Atom, Set[str]] = {}
         self._by_relation: Dict[str, Set[Atom]] = defaultdict(set)
         self._by_position: Dict[Tuple[str, int, object], Set[Atom]] = defaultdict(set)
+        #: Per-class occurrence index: which stored atoms mention a class.
+        #: This is what makes :meth:`rebuild` incremental — a merge touches
+        #: exactly the atoms listed under the retired class.
+        self._atoms_by_class: Dict[int, Set[Atom]] = defaultdict(set)
         self._congruence: Dict[Tuple, Atom] = {}
         self._shape: Dict[int, Shape] = {}
         self._scalar_value: Dict[int, float] = {}
@@ -52,6 +90,11 @@ class VremInstance:
         #: Counter for shape-metadata changes (``size`` atoms match against
         #: metadata, not stored atoms, so they need their own staleness signal).
         self.shape_version = 0
+        #: Append-only semi-naive delta logs: atoms added or re-canonicalised,
+        #: per relation, and classes that gained a shape.  The saturation
+        #: engine slices these by remembered lengths (watermarks).
+        self._delta_log: Dict[str, List[Atom]] = defaultdict(list)
+        self._shape_delta_log: List[int] = []
 
     # ------------------------------------------------------------------ classes
     def new_class(self) -> int:
@@ -59,15 +102,17 @@ class VremInstance:
         cid = self._next_id
         self._next_id += 1
         self._parent[cid] = cid
+        self._num_classes += 1
         return cid
 
     def find(self, cid: int) -> int:
         """Canonical representative of a class (with path compression)."""
+        parent = self._parent
         root = cid
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[cid] != root:
-            self._parent[cid], cid = root, self._parent[cid]
+        while parent[root] != root:
+            root = parent[root]
+        while parent[cid] != root:
+            parent[cid], cid = root, parent[cid]
         return root
 
     def union(self, a: int, b: int) -> int:
@@ -75,15 +120,18 @@ class VremInstance:
 
         Shape and scalar-value metadata are reconciled; conflicting shapes
         indicate an unsound constraint and raise :class:`ChaseError`.
-        The heavy re-canonicalisation work is deferred to :meth:`rebuild`.
+        The re-canonicalisation of affected atoms is deferred to
+        :meth:`rebuild` (incremental: only atoms mentioning the retired
+        class are touched).
         """
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
         # Keep the smaller id as representative for determinism.
         keep, drop = (ra, rb) if ra < rb else (rb, ra)
-        shape_keep, shape_drop = self._shape.get(keep), self._shape.get(drop)
+        shape_keep, shape_drop = self._shape.get(keep), self._shape.pop(drop, None)
         if shape_keep is not None and shape_drop is not None and shape_keep != shape_drop:
+            self._shape[drop] = shape_drop  # restore before failing
             raise ChaseError(
                 f"cannot merge classes {keep} and {drop}: shapes {shape_keep} != {shape_drop}"
             )
@@ -91,10 +139,12 @@ class VremInstance:
             self._shape[keep] = shape_drop
             # The surviving class just became shape-matchable.
             self.shape_version += 1
-        value_keep, value_drop = self._scalar_value.get(keep), self._scalar_value.get(drop)
-        if value_keep is None and value_drop is not None:
+            self._shape_delta_log.append(keep)
+        value_drop = self._scalar_value.pop(drop, None)
+        if value_drop is not None and keep not in self._scalar_value:
             self._scalar_value[keep] = value_drop
         self._parent[drop] = keep
+        self._num_classes -= 1
         self._pending_unions.append((keep, drop))
         return keep
 
@@ -106,7 +156,8 @@ class VremInstance:
         return {self.find(cid) for cid in self._parent}
 
     def num_classes(self) -> int:
-        return len(self.classes())
+        """Number of live classes (tracked incrementally; O(1))."""
+        return self._num_classes
 
     # ------------------------------------------------------------------ metadata
     def set_shape(self, cid: int, shape: Optional[Shape]) -> None:
@@ -119,10 +170,24 @@ class VremInstance:
             raise ChaseError(f"class {root} already has shape {known}, cannot set {shape}")
         if known is None:
             self.shape_version += 1
+            self._shape_delta_log.append(root)
         self._shape[root] = shape
 
     def shape(self, cid: int) -> Optional[Shape]:
         return self._shape.get(self.find(cid))
+
+    def shaped_class_count(self) -> int:
+        """Number of classes with known shape (selectivity of ``size`` scans)."""
+        return len(self._shape)
+
+    def shaped_classes(self) -> List[int]:
+        """The classes with known shape, sorted.
+
+        Keys of the shape table are canonical at rest (``union`` re-keys
+        the retired side eagerly), so this equals
+        ``sorted(c for c in classes() if shape(c) is not None)`` without the
+        O(instance) scan."""
+        return sorted(self._shape)
 
     def set_scalar_value(self, cid: int, value: float) -> None:
         self._scalar_value[self.find(cid)] = float(value)
@@ -134,14 +199,14 @@ class VremInstance:
     def _canonical_args(self, args: Sequence[Term]) -> Tuple[Term, ...]:
         canonical = []
         for arg in args:
-            if isinstance(arg, Var):
-                raise ChaseError("ground instances cannot contain variables")
             if isinstance(arg, bool):
                 raise ChaseError("boolean atom arguments are not supported")
             if isinstance(arg, int):
                 canonical.append(self.find(arg))
             elif isinstance(arg, Const):
                 canonical.append(arg)
+            elif isinstance(arg, Var):
+                raise ChaseError("ground instances cannot contain variables")
             else:
                 canonical.append(Const(arg))
         return tuple(canonical)
@@ -165,32 +230,66 @@ class VremInstance:
             cid, rows, cols = canonical
             if isinstance(rows, Const) and isinstance(cols, Const):
                 self.set_shape(cid, (int(rows.value), int(cols.value)))
-            atom = Atom("size", canonical)
-            return atom
-        atom = Atom(relation, canonical)
-        labels = set(provenance or ())
+            return Atom("size", canonical)
+        atom = self._insert_canonical(relation, canonical, set(provenance or ()))
+        if self._pending_unions:
+            self.rebuild()
+        return atom
+
+    def _insert_canonical(
+        self, relation: str, canonical: Tuple[Term, ...], labels: Set[str]
+    ) -> Atom:
+        """Store one canonical atom: intern, index, log, congruence, shapes."""
+        atom = self._interner.intern(relation, canonical)
         existing = self._atom_provenance.get(atom)
         if existing is not None:
             existing |= labels
             return atom
         self._atom_provenance[atom] = labels
         self._by_relation[relation].add(atom)
+        by_position = self._by_position
+        by_class = self._atoms_by_class
         for position, arg in enumerate(canonical):
-            self._by_position[(relation, position, arg)].add(atom)
+            by_position[(relation, position, arg)].add(atom)
+            if isinstance(arg, int):
+                by_class[arg].add(atom)
         self.version += 1
         self._relation_versions[relation] += 1
+        self._delta_log[relation].append(atom)
         self._apply_congruence(atom)
         self._infer_shapes(atom)
-        if self._pending_unions:
-            self.rebuild()
         return atom
+
+    def _remove_atom(self, atom: Atom) -> Set[str]:
+        """Unindex a stale (pre-merge) atom, returning its provenance labels."""
+        labels = self._atom_provenance.pop(atom, set())
+        self._by_relation[atom.relation].discard(atom)
+        for position, arg in enumerate(atom.args):
+            self._by_position[(atom.relation, position, arg)].discard(atom)
+            if isinstance(arg, int):
+                entry = self._atoms_by_class.get(arg)
+                if entry is not None:
+                    entry.discard(atom)
+        key = self._congruence_key(atom)
+        if key is not None and self._congruence.get(key) is atom:
+            del self._congruence[key]
+        self._interner.discard(atom)
+        return labels
 
     def _congruence_key(self, atom: Atom) -> Optional[Tuple]:
         spec = relation_spec(atom.relation)
         if not spec.functional:
             return None
-        key_args = tuple(atom.args[pos] for pos in spec.input_positions)
+        key_args: Tuple[Term, ...] = tuple(atom.args[pos] for pos in spec.input_positions)
+        if atom.relation in COMMUTATIVE_RELATIONS:
+            key_args = tuple(sorted(key_args, key=_term_sort_key))
         return (atom.relation, key_args)
+
+    def _operation_key(self, relation: str, canonical_inputs: Tuple[Term, ...]) -> Tuple:
+        """The congruence-table key for an operation's canonical inputs."""
+        if relation in COMMUTATIVE_RELATIONS:
+            canonical_inputs = tuple(sorted(canonical_inputs, key=_term_sort_key))
+        return (relation, canonical_inputs)
 
     def _apply_congruence(self, atom: Atom) -> None:
         key = self._congruence_key(atom)
@@ -199,6 +298,8 @@ class VremInstance:
         other = self._congruence.get(key)
         if other is None:
             self._congruence[key] = atom
+            return
+        if other is atom:
             return
         spec = relation_spec(atom.relation)
         for pos in spec.output_positions:
@@ -209,9 +310,6 @@ class VremInstance:
     def _infer_shapes(self, atom: Atom) -> None:
         spec = relation_spec(atom.relation)
         if spec.is_fact:
-            if atom.relation == "identity":
-                # identity(I): square; exact size may be set separately.
-                return
             return
         input_shapes = []
         const_args = []
@@ -236,16 +334,16 @@ class VremInstance:
     ) -> Tuple[int, ...]:
         """Hash-consing insertion of an operation atom.
 
-        If an atom of ``relation`` with the given (canonicalised) inputs
-        already exists, its output class IDs are returned; otherwise fresh
-        classes are allocated for the outputs, the atom is added, and the
-        new IDs are returned.
+        If an atom of ``relation`` with the given (canonicalised, and for
+        commutative relations order-normalised) inputs already exists, its
+        output class IDs are returned; otherwise fresh classes are allocated
+        for the outputs, the atom is added, and the new IDs are returned.
         """
         spec = relation_spec(relation)
         if spec.is_fact:
             raise ChaseError(f"{relation!r} is a fact relation, not an operation")
         canonical_inputs = self._canonical_args(inputs)
-        key = (relation, canonical_inputs)
+        key = self._operation_key(relation, canonical_inputs)
         existing = self._congruence.get(key)
         if existing is not None:
             return tuple(self.find(existing.args[pos]) for pos in spec.output_positions)
@@ -261,6 +359,10 @@ class VremInstance:
     def has_atom(self, relation: str, args: Sequence[Term]) -> bool:
         canonical = self._canonical_args(args)
         return Atom(relation, canonical) in self._atom_provenance
+
+    def contains_atom(self, atom: Atom) -> bool:
+        """Whether this exact (already-canonical) atom is currently stored."""
+        return atom in self._atom_provenance
 
     def atoms(self, relation: Optional[str] = None) -> Iterator[Atom]:
         """Iterate over stored atoms, optionally restricted to one relation."""
@@ -294,94 +396,124 @@ class VremInstance:
         """Change counter of one relation (see ``_relation_versions``)."""
         return self._relation_versions[relation]
 
+    # ------------------------------------------------------------------ deltas
+    def relation_log(self, relation: str) -> List[Atom]:
+        """Append-only log of atoms added / re-canonicalised in a relation.
+
+        The semi-naive engine remembers the length at a constraint's last
+        attempt; the slice past that watermark is the relation's delta.
+        Entries may be stale (re-canonicalised away since being logged) —
+        consumers filter through :meth:`contains_atom`.
+        """
+        return self._delta_log[relation]
+
+    def shape_log(self) -> List[int]:
+        """Append-only log of classes that gained a shape (``size`` deltas)."""
+        return self._shape_delta_log
+
     # ------------------------------------------------------------------ rebuild
     def rebuild(self) -> None:
-        """Re-canonicalise all atoms after unions, to a congruence fixpoint."""
+        """Re-canonicalise atoms affected by pending unions, to a fixpoint.
+
+        Incremental e-graph repair: for every retired class, exactly the
+        atoms mentioning it (per-class occurrence index) are removed,
+        re-canonicalised and re-inserted; re-insertion may trigger further
+        congruence unions, which queue more repair work until the instance
+        is congruence-closed again.  Cost is proportional to the atoms
+        actually touched, never to the whole instance.
+        """
         while self._pending_unions:
-            self._pending_unions.clear()
-            old_atoms = self._atom_provenance
-            self._atom_provenance = {}
-            self._by_relation = defaultdict(set)
-            self._by_position = defaultdict(set)
-            self._congruence = {}
+            keep, drop = self._pending_unions.pop()
+            affected = self._atoms_by_class.pop(drop, None)
+            if not affected:
+                continue
             self.version += 1
-            # Re-canonicalise metadata keyed by class id.
-            for table in (self._shape, self._scalar_value):
-                entries = list(table.items())
-                table.clear()
-                for cid, value in entries:
-                    root = self.find(cid)
-                    if root in table and table[root] != value and table is self._shape:
-                        raise ChaseError(
-                            f"conflicting shapes {table[root]} vs {value} while merging class {root}"
-                        )
-                    table.setdefault(root, value)
-            for atom, labels in old_atoms.items():
-                canonical = Atom(atom.relation, self._canonical_args(atom.args))
-                if canonical != atom:
-                    # The relation's canonical atom set changed, so premise
-                    # joins over it may produce new matches.
-                    self._relation_versions[atom.relation] += 1
-                existing = self._atom_provenance.get(canonical)
-                if existing is not None:
-                    existing |= labels
-                else:
-                    self._atom_provenance[canonical] = set(labels)
-                    self._by_relation[canonical.relation].add(canonical)
-                    for position, arg in enumerate(canonical.args):
-                        self._by_position[(canonical.relation, position, arg)].add(canonical)
-                    self._apply_congruence(canonical)
-                    self._infer_shapes(canonical)
+            for atom in list(affected):
+                labels = self._remove_atom(atom)
+                canonical = self._canonical_args(atom.args)
+                # The relation's canonical atom set changed, so premise
+                # joins over it may produce new matches.
+                self._relation_versions[atom.relation] += 1
+                self._insert_canonical(atom.relation, canonical, labels)
 
     # ------------------------------------------------------------------ helpers
     def leaf_name(self, cid: int) -> Optional[str]:
         """The storage name of a class, if it has a ``name`` atom."""
-        root = self.find(cid)
-        for atom in self._by_relation.get("name", ()):
-            if self.find(atom.args[0]) == root:
-                return atom.args[1].value
+        for atom in self.atoms_with("name", 0, cid):
+            return atom.args[1].value
         return None
 
     def leaf_names(self, cid: int) -> List[str]:
         """All storage names attached to a class (base matrices and views)."""
-        root = self.find(cid)
-        names = []
-        for atom in self._by_relation.get("name", ()):
-            if self.find(atom.args[0]) == root:
-                names.append(atom.args[1].value)
-        return sorted(names)
+        return sorted(atom.args[1].value for atom in self.atoms_with("name", 0, cid))
 
     def class_of_name(self, name: str) -> Optional[int]:
         """The class carrying ``name(M, name)``, if any."""
-        for atom in self._by_relation.get("name", ()):
-            if atom.args[1] == Const(name):
-                return self.find(atom.args[0])
+        for atom in self.atoms_with("name", 1, Const(name)):
+            return self.find(atom.args[0])
         return None
 
     def types_of(self, cid: int) -> Set[str]:
         """Structural type tags attached to a class via ``type`` atoms."""
-        root = self.find(cid)
-        return {
-            atom.args[1].value
-            for atom in self._by_relation.get("type", ())
-            if self.find(atom.args[0]) == root
-        }
+        return {atom.args[1].value for atom in self.atoms_with("type", 0, cid)}
 
     def producers(self, cid: int) -> List[Atom]:
         """Operation atoms whose output positions include this class."""
         root = self.find(cid)
         result = []
-        for relation, atoms in self._by_relation.items():
-            spec = relation_spec(relation)
-            if not spec.output_positions:
-                continue
-            for atom in atoms:
-                for pos in spec.output_positions:
-                    arg = atom.args[pos]
-                    if isinstance(arg, int) and self.find(arg) == root:
-                        result.append(atom)
-                        break
+        for atom in self._atoms_by_class.get(root, ()):
+            spec = relation_spec(atom.relation)
+            for pos in spec.output_positions:
+                arg = atom.args[pos]
+                if isinstance(arg, int) and self.find(arg) == root:
+                    result.append(atom)
+                    break
         return result
+
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Picklable snapshot (for the parallel chase's worker processes).
+
+        The interner rebuilds from the stored atoms on the other side; the
+        defaultdicts are converted to plain dicts so no factory lambdas leak
+        into the payload.
+        """
+        return {
+            "parent": dict(self._parent),
+            "next_id": self._next_id,
+            "atoms": [
+                (atom.relation, atom.args, sorted(labels))
+                for atom, labels in self._atom_provenance.items()
+            ],
+            "shape": dict(self._shape),
+            "scalar_value": dict(self._scalar_value),
+            "version": self.version,
+            "shape_version": self.shape_version,
+            "relation_versions": dict(self._relation_versions),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self._parent = dict(state["parent"])
+        self._next_id = int(state["next_id"])
+        self._num_classes = len({self.find(cid) for cid in self._parent})
+        for relation, args, labels in state["atoms"]:
+            atom = self._interner.intern(relation, tuple(args))
+            self._atom_provenance[atom] = set(labels)
+            self._by_relation[relation].add(atom)
+            for position, arg in enumerate(atom.args):
+                self._by_position[(relation, position, arg)].add(atom)
+                if isinstance(arg, int):
+                    self._atoms_by_class[arg].add(atom)
+            key = self._congruence_key(atom)
+            if key is not None:
+                self._congruence.setdefault(key, atom)
+        self._shape = {int(cid): (int(s[0]), int(s[1])) for cid, s in state["shape"].items()}
+        self._scalar_value = dict(state["scalar_value"])
+        self.version = int(state["version"])
+        self.shape_version = int(state["shape_version"])
+        for relation, version in state["relation_versions"].items():
+            self._relation_versions[relation] = version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"VremInstance(classes={self.num_classes()}, atoms={self.num_atoms()})"

@@ -1,0 +1,288 @@
+"""Tests for the fast chase: hash-consed canonical terms, semi-naive delta
+matching, and the parallel saturation engine.
+
+Covers the unification edge cases the indexed matcher has to get right
+(size atoms over unknown shapes, constants vs class IDs), incremental
+re-canonicalisation after class merges, the semi-naive ≡ naive equivalence,
+byte-identical plans under ``chase_workers > 1``, the thread-safe pruner,
+and the property that commutative canonicalisation never changes which
+plans an expression fingerprint identifies.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.homomorphism import find_delta_matches, find_instance_matches
+from repro.chase.program import ConstraintProgram
+from repro.chase.saturation import CostThresholdPruner, SaturationEngine
+from repro.config import PlannerConfig
+from repro.constraints import default_constraints
+from repro.exceptions import ConfigError
+from repro.lang import hadamard, matrix, trace, transpose
+from repro.planner import PlanSession
+from repro.vrem.atoms import Atom, Const, Var
+from repro.vrem.encoder import encode_expression
+from repro.vrem.instance import VremInstance
+
+
+class TestUnificationEdgeCases:
+    def test_size_atom_skips_classes_with_unknown_shape(self):
+        instance = VremInstance()
+        shaped = instance.new_class()
+        unshaped = instance.new_class()
+        instance.set_shape(shaped, (3, 4))
+        pattern = [Atom("size", (Var("m"), Var("k"), Var("z")))]
+        matches = list(find_instance_matches(pattern, instance))
+        assert [m[Var("m")] for m in matches] == [shaped]
+        # A subject already bound to the unshaped class cannot match.
+        assert not list(
+            find_instance_matches(pattern, instance, {Var("m"): unshaped})
+        )
+
+    def test_size_atom_with_constant_dimensions(self):
+        instance = VremInstance()
+        cid = instance.new_class()
+        instance.set_shape(cid, (3, 4))
+        good = [Atom("size", (Var("m"), Const(3), Const(4)))]
+        bad = [Atom("size", (Var("m"), Const(3), Const(5)))]
+        assert list(find_instance_matches(good, instance))
+        assert not list(find_instance_matches(bad, instance))
+
+    def test_constants_do_not_unify_with_classes(self, small_catalog):
+        instance, _ = encode_expression(matrix("M"), catalog=small_catalog)
+        # The join binds n to the constant "M"; the second atom then needs a
+        # *class* whose name is that constant, and a Const is not a class.
+        pattern = [
+            Atom("name", (Var("m"), Var("n"))),
+            Atom("name", (Var("n"), Const("M"))),
+        ]
+        assert not list(find_instance_matches(pattern, instance))
+
+    def test_interned_constants_unify_by_value(self):
+        instance = VremInstance()
+        cid = instance.new_class()
+        instance.add_atom("scalar_const", (cid, Const(2.5)))
+        # A structurally equal — not identical — Const must still match.
+        assert list(
+            find_instance_matches(
+                [Atom("scalar_const", (Var("s"), Const(2.5)))], instance
+            )
+        )
+        assert not list(
+            find_instance_matches(
+                [Atom("scalar_const", (Var("s"), Const(3.5)))], instance
+            )
+        )
+
+
+class TestCanonicalConstruction:
+    def test_commutative_operands_hash_cons_to_one_atom(self):
+        instance = VremInstance()
+        a = instance.new_class()
+        b = instance.new_class()
+        (r1,) = instance.add_op("add_m", (a, b))
+        (r2,) = instance.add_op("add_m", (b, a))
+        assert r1 == r2
+        assert instance.atom_count("add_m") == 1
+
+    def test_noncommutative_operands_stay_distinct(self):
+        instance = VremInstance()
+        a = instance.new_class()
+        b = instance.new_class()
+        (r1,) = instance.add_op("multi_m", (a, b))
+        (r2,) = instance.add_op("multi_m", (b, a))
+        assert r1 != r2
+        assert instance.atom_count("multi_m") == 2
+
+    def test_class_merge_recanonicalises_atoms(self):
+        instance = VremInstance()
+        a = instance.new_class()
+        b = instance.new_class()
+        (ra,) = instance.add_op("tr", (a,))
+        (rb,) = instance.add_op("tr", (b,))
+        assert ra != rb
+        instance.union(a, b)
+        instance.rebuild()
+        # Congruence: tr over the merged input collapses to one atom whose
+        # two former outputs are now the same class.
+        assert instance.same_class(ra, rb)
+        assert instance.atom_count("tr") == 1
+        canonical = next(iter(instance.atoms("tr")))
+        assert canonical.args[0] == instance.find(a)
+
+    def test_merge_during_iteration_is_safe(self, small_catalog):
+        expr = transpose(matrix("A")) + transpose(matrix("B"))
+        instance, _ = encode_expression(expr, catalog=small_catalog)
+        atoms = list(instance.atoms())
+        a = instance.class_of_name("A")
+        b = instance.class_of_name("B")
+        for atom in atoms:  # mutate mid-iteration over a snapshot
+            if atom.relation == "tr":
+                instance.union(a, b)
+                instance.rebuild()
+        # Stale atom objects still resolve through find(); the instance
+        # itself only holds canonical atoms.
+        for atom in instance.atoms():
+            for arg in atom.args:
+                if isinstance(arg, int):
+                    assert instance.find(arg) == arg
+
+
+class TestSemiNaive:
+    def _saturate(self, small_catalog, **engine_kwargs):
+        expr = trace(transpose(matrix("M") @ matrix("N")))
+        instance, _ = encode_expression(expr, catalog=small_catalog)
+        engine = SaturationEngine(default_constraints(), **engine_kwargs)
+        stats = engine.saturate(instance)
+        atoms = sorted(repr(atom) for atom in instance.atoms())
+        return stats, atoms, instance.num_classes()
+
+    def test_delta_rounds_equal_full_reevaluation(self, small_catalog):
+        stats_delta, atoms_delta, classes_delta = self._saturate(
+            small_catalog, use_delta=True
+        )
+        stats_full, atoms_full, classes_full = self._saturate(
+            small_catalog, use_delta=False
+        )
+        assert atoms_delta == atoms_full
+        assert classes_delta == classes_full
+        assert stats_delta.reached_fixpoint == stats_full.reached_fixpoint
+        assert stats_delta.tgd_applications == stats_full.tgd_applications
+        assert stats_delta.delta_attempts > 0
+        assert stats_full.delta_attempts == 0
+
+    def test_saturation_counters_populated(self, small_catalog):
+        stats, _, _ = self._saturate(small_catalog, use_delta=True)
+        assert stats.matches_attempted > 0
+        assert stats.atoms_materialized > 0
+        assert stats.rounds >= 1
+
+    def test_delta_matches_find_only_new_bindings(self):
+        instance = VremInstance()
+        a = instance.new_class()
+        b = instance.new_class()
+        instance.add_atom("tr", (a, b))
+        mark = len(instance.relation_log("tr"))
+        c = instance.new_class()
+        d = instance.new_class()
+        instance.add_atom("tr", (c, d))
+        delta = {"tr": instance.relation_log("tr")[mark:]}
+        pattern = [Atom("tr", (Var("x"), Var("y")))]
+        matches = list(find_delta_matches(pattern, instance, delta))
+        assert [(m[Var("x")], m[Var("y")]) for m in matches] == [(c, d)]
+        # Full matching sees both; delta matching only the new atom.
+        assert len(list(find_instance_matches(pattern, instance))) == 2
+
+
+class TestParallelChase:
+    def test_parallel_groups_partition_every_constraint(self):
+        program = ConstraintProgram(default_constraints())
+        groups = program.parallel_groups()
+        flat = sorted(position for group in groups for position in group)
+        assert flat == list(range(len(program.compiled)))
+        assert len(groups) >= 1
+
+    def test_parallel_plans_byte_identical(self, small_catalog):
+        expr = trace(transpose(matrix("M") @ matrix("N"))) + trace(
+            hadamard(matrix("A"), matrix("B")) @ transpose(matrix("A"))
+        )
+        serial = PlanSession(small_catalog).rewrite(expr)
+        parallel_session = PlanSession(small_catalog, chase_workers=2)
+        try:
+            parallel = parallel_session.rewrite(expr)
+        finally:
+            parallel_session.engine.close()
+        assert parallel.best.to_string() == serial.best.to_string()
+        assert parallel.best_cost == pytest.approx(serial.best_cost)
+
+    def test_chase_workers_validated(self):
+        with pytest.raises(ConfigError):
+            PlannerConfig(chase_workers=0)
+        assert PlannerConfig(chase_workers=2).chase_workers == 2
+        assert "chase_workers" in str(PlannerConfig.__dataclass_fields__.keys())
+
+
+class TestPrunerThreadSafety:
+    def test_concurrent_tighten_and_record(self):
+        pruner = CostThresholdPruner(1e9)
+        thresholds = [1e6, 5e5, 2e5, 1e5]
+
+        def worker(threshold: float) -> None:
+            for _ in range(500):
+                pruner.tighten(threshold)
+                pruner.record_pruned(by_tightening=True)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in thresholds * 2
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert pruner.threshold == min(thresholds)
+        assert pruner.pruned_applications == 500 * len(threads)
+        assert pruner.pruned_by_tightening == 500 * len(threads)
+
+    def test_tighten_never_loosens(self):
+        pruner = CostThresholdPruner(100.0)
+        pruner.tighten(50.0)
+        pruner.tighten(80.0)
+        assert pruner.threshold == 50.0
+
+
+def _build(shape_tree, swap_mask):
+    """A (30, 8)-shaped expression from a nested spec, optionally commuted.
+
+    ``shape_tree`` is a leaf name or ``(op, left, right)``; ``swap_mask``
+    pops one bool per commutative node deciding whether its operands are
+    given in swapped order (semantically identical by commutativity).
+    """
+    if isinstance(shape_tree, str):
+        return matrix(shape_tree)
+    op, left_spec, right_spec = shape_tree
+    left = _build(left_spec, swap_mask)
+    right = _build(right_spec, swap_mask)
+    if swap_mask.pop():
+        left, right = right, left
+    return left + right if op == "add_m" else hadamard(left, right)
+
+
+_LEAVES = st.sampled_from(["A", "B"])
+_TREES = st.recursive(
+    _LEAVES,
+    lambda children: st.tuples(
+        st.sampled_from(["add_m", "multi_e"]), children, children
+    ),
+    max_leaves=4,
+)
+
+
+class TestCanonicalFingerprintProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(tree=_TREES, swaps=st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_commuting_operands_preserves_canonical_fingerprint(self, tree, swaps):
+        original = _build(tree, [False] * 8)
+        commuted = _build(tree, list(swaps))
+        assert original.canonical_fingerprint() == commuted.canonical_fingerprint()
+        # Exact fingerprints agree iff no swap actually changed the tree.
+        if original.fingerprint() == commuted.fingerprint():
+            assert original.to_string() == commuted.to_string()
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(tree=_TREES, swaps=st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_commuted_operands_plan_to_equal_cost(self, small_catalog, tree, swaps):
+        original = _build(tree, [False] * 8)
+        commuted = _build(tree, list(swaps))
+        session = PlanSession(small_catalog)
+        first = session.rewrite(original)
+        second = session.rewrite(commuted)
+        assert second.best_cost == pytest.approx(first.best_cost)

@@ -104,6 +104,24 @@ TRACKED: Dict[str, List[Metric]] = {
         # Dedup at the gateway: duplicate requests answered per batch leader.
         Metric("acceptance.pool.plans_computed", "ratio", direction="lower"),
     ],
+    "saturation": [
+        # The fast chase may only move *where* matching work runs, never
+        # which plan wins: the optimized serial engine and the parallel
+        # engine (chase_workers=2) must extract exactly the reference
+        # engine's plans on all 57 pipelines.
+        Metric("acceptance.byte_identical_serial", "flag"),
+        Metric("acceptance.byte_identical_parallel", "flag"),
+        # Median cold-plan latency on the chase-bound pipelines must stay
+        # >= 3x better than the reference engine.  The measured margin is
+        # ~50x; an absolute floor because wall-clock ratios vary across
+        # machine classes.
+        Metric("acceptance.median_chase_bound_speedup", "threshold", minimum=3.0),
+        # Deterministic chase counters (PYTHONHASHSEED=0): the optimized
+        # engine's work volume may not silently grow.
+        Metric("optimized.rounds", "ratio", direction="lower"),
+        Metric("optimized.matches_attempted", "ratio", direction="lower"),
+        Metric("optimized.atoms_materialized", "ratio", direction="lower"),
+    ],
     "gateway_workspace_sweep": [
         # Multi-tenant serving: >= 2 workspaces served concurrently through
         # one gateway, every answer byte-identical to its *own* tenant's
