@@ -1,0 +1,217 @@
+"""The adaptive-routing benchmark: LearnedEstimator vs. static MNC routing.
+
+The closed loop this PR adds, demonstrated end-to-end on the hybrid suite
+(the Fig. 10 Twitter queries Q1–Q10):
+
+1. **Calibrate** — every query is pushed through the differential oracle
+   (:mod:`repro.fuzz`), which plans it, verifies original/rewritten
+   equivalence across all LA backends, and records per-backend execute
+   timings plus predicted-vs-actual nnz per internal node.
+2. **Fit** — the observations are folded into a
+   :class:`~repro.cost.LearnedEstimator` (per-relation nnz corrections,
+   per-backend seconds-per-cost scales).
+3. **Compare** — each query's plan is routed twice: through the static
+   :class:`~repro.service.DefaultPolicy` (the MNC-era behaviour) and
+   through :class:`~repro.service.AdaptivePolicy` wrapping the fitted
+   estimator.  Both executions are timed (best of ``REPEATS``) and the
+   values cross-checked; the acceptance block asserts the adaptive route
+   is not slower end-to-end than the static one.
+
+Run directly for the JSON summary (CI pipes it into the perf gate)::
+
+    PYTHONHASHSEED=0 python benchmarks/bench_learned_router.py
+
+or via pytest, which asserts the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List
+
+from repro.backends.base import values_allclose
+from repro.benchkit.harness import materialize_views
+from repro.benchkit.hybrid_queries import hybrid_queries, hybrid_views
+from repro.config import PlannerConfig
+from repro.cost import LearnedEstimator, resolve_estimator
+from repro.data.datasets import twitter_dataset
+from repro.fuzz import DifferentialOracle
+from repro.hybrid import HybridExecutor, HybridOptimizer
+from repro.planner.session import PlanSession
+from repro.service import AdaptivePolicy, DefaultPolicy, ExecutionRouter
+
+N_TWEETS = 2_000
+N_HASHTAGS = 120
+DENSITY = 0.005
+REPEATS = 5
+
+_SUMMARIES: Dict[str, dict] = {}
+
+
+def _build_environment():
+    catalog, spec = twitter_dataset(
+        n_tweets=N_TWEETS, n_hashtags=N_HASHTAGS, density=DENSITY
+    )
+    queries = hybrid_queries(catalog, spec, dataset="twitter")
+    executor = HybridExecutor(catalog)
+    for builder in queries[0].builders:
+        executor.build_matrix(builder)
+    optimizer = HybridOptimizer(catalog)
+    optimizer.ensure_factor_matrices(queries[0])
+    views = hybrid_views(catalog)
+    materialize_views(views, catalog)
+    return catalog, views, queries
+
+
+def _best_of(callable_, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    cached = _SUMMARIES.get("learned_router")
+    if cached is not None:
+        return cached
+
+    catalog, views, queries = _build_environment()
+
+    # -- 1. calibrate: oracle-verified backtest over the hybrid suite -------
+    oracle = DifferentialOracle(catalog, views=views, estimator_name="mnc")
+    learned = LearnedEstimator()
+    calibration_violations: List[str] = []
+    observations = 0
+    plans = {}
+    for query in queries:
+        report = oracle.check(query.analysis, collect_observations=True)
+        plans[query.name] = report.result
+        for violation in report.violations:
+            calibration_violations.append(f"{query.name}: [{violation.kind}] {violation.detail}")
+        if report.result is not None:
+            cost = max(float(report.result.best_cost), 1.0)
+            for backend_name, seconds in report.timings.items():
+                learned.observe_execution(backend_name, cost, seconds)
+        observations += learned.fit(report.nnz_observations)
+
+    # -- 2. the estimator is selectable by name through the registry --------
+    learned_selectable = isinstance(resolve_estimator("learned"), LearnedEstimator)
+    # ... and usable as a per-workspace estimator *object* inside a session
+    # (passing the fitted instance keeps its corrections; the name would
+    # build a fresh unfitted one).
+    session = PlanSession(
+        catalog=catalog,
+        views=list(views),
+        estimator=learned,
+        config=PlannerConfig(),
+    )
+    replanned = session.rewrite(queries[0].analysis)
+    learned_plans = replanned.best is not None
+
+    # -- 3. compare static vs adaptive routing end-to-end -------------------
+    static_router = ExecutionRouter(catalog, policy=DefaultPolicy())
+    adaptive_router = ExecutionRouter(catalog, policy=AdaptivePolicy(learned))
+    per_query = []
+    static_total = 0.0
+    adaptive_total = 0.0
+    values_identical = True
+    for query in queries:
+        result = plans[query.name]
+        if result is None:
+            continue
+        static_routed = static_router.execute(result)
+        adaptive_routed = adaptive_router.execute(result)
+        if not values_allclose(
+            static_routed.evaluation.value,
+            adaptive_routed.evaluation.value,
+            rtol=1e-4,
+            atol=1e-5,
+        ):
+            values_identical = False
+        static_seconds = _best_of(lambda: static_router.execute(result))
+        adaptive_seconds = _best_of(lambda: adaptive_router.execute(result))
+        static_total += static_seconds
+        adaptive_total += adaptive_seconds
+        per_query.append(
+            {
+                "query": query.name,
+                "static_backend": static_routed.backend,
+                "adaptive_backend": adaptive_routed.backend,
+                "static_ms": round(static_seconds * 1e3, 4),
+                "adaptive_ms": round(adaptive_seconds * 1e3, 4),
+            }
+        )
+
+    speedup = static_total / adaptive_total if adaptive_total > 0 else float("inf")
+    rerouted = sum(
+        1 for row in per_query if row["static_backend"] != row["adaptive_backend"]
+    )
+    summary = {
+        "benchmark": "learned_router",
+        "dataset": {
+            "n_tweets": N_TWEETS,
+            "n_hashtags": N_HASHTAGS,
+            "density": DENSITY,
+            "queries": len(queries),
+        },
+        "calibration": {
+            "nnz_observations": observations,
+            "violations": calibration_violations,
+            "estimator": learned.snapshot(),
+        },
+        "routing": {
+            "per_query": per_query,
+            "static_total_ms": round(static_total * 1e3, 4),
+            "adaptive_total_ms": round(adaptive_total * 1e3, 4),
+            "speedup": round(speedup, 4),
+            "queries_rerouted": rerouted,
+        },
+        "acceptance": {
+            "learned_selectable": bool(learned_selectable),
+            "learned_plans": bool(learned_plans),
+            "hybrid_no_violations": not calibration_violations,
+            "values_identical": bool(values_identical),
+            # End-to-end routed latency with the fitted estimator must not
+            # be slower than the static MNC-era routing.  The 10% margin
+            # absorbs timer noise on queries that route identically.
+            "adaptive_not_slower": bool(speedup >= 0.9),
+        },
+    }
+    _SUMMARIES["learned_router"] = summary
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (assert the acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+def test_learned_estimator_selectable():
+    acceptance = measure()["acceptance"]
+    assert acceptance["learned_selectable"]
+    assert acceptance["learned_plans"]
+
+
+def test_hybrid_suite_has_no_equivalence_violations():
+    summary = measure()
+    assert summary["acceptance"]["hybrid_no_violations"], summary["calibration"]["violations"]
+
+
+def test_adaptive_routing_not_slower():
+    summary = measure()
+    assert summary["acceptance"]["values_identical"]
+    assert summary["acceptance"]["adaptive_not_slower"], summary["routing"]
+
+
+def test_estimator_was_actually_fitted():
+    summary = measure()
+    snapshot = summary["calibration"]["estimator"]
+    assert snapshot["seconds_per_cost"], "no backend timing was fitted"
+    assert summary["calibration"]["nnz_observations"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

@@ -1,0 +1,177 @@
+"""A learned correction layer over a base sparsity estimator.
+
+The MNC histograms (§7.2.2) are *bounds*: good on products of ultra-sparse
+matrices, systematically pessimistic on dense element-wise chains.  The
+fuzz backtest (:mod:`repro.fuzz`) executes plans for real, so it can
+observe both what MNC over- or under-estimates and how long each backend
+actually takes.  :class:`LearnedEstimator` folds those observations back
+into planning:
+
+* **per-relation nnz correction** — a multiplicative factor per operator
+  (``multi_m``, ``add_m``, …) fitted as a clipped geometric mean of
+  observed ``actual / predicted`` ratios, updated online with an
+  exponential moving average in log space.  ``propagate`` delegates to the
+  wrapped base estimator and rescales its nnz (histograms are left
+  untouched — they stay bounds);
+* **per-backend latency model** — a fitted seconds-per-unit-cost scale from
+  observed ``(plan cost, execute seconds)`` pairs, exposing
+  :meth:`predicted_seconds` and :meth:`backend_ranking` so routing policies
+  (:class:`repro.service.AdaptivePolicy`) can order backends by predicted
+  latency instead of a static preference.
+
+The estimator is registered as ``"learned"`` in the estimator registry and
+is zero-argument constructible (a fresh instance behaves exactly like its
+base until fitted).  Corrections are per-*instance*: fit one estimator per
+workspace and pass the object (not the name) into the workspace bundle to
+keep tenants' corrections separate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cost.mnc_estimator import MNCEstimator
+from repro.cost.model import NnzInfo
+
+Shape = Tuple[int, int]
+
+#: Correction factors are clipped to this band: a single wild observation
+#: (an all-cancelling subtraction, say) must not zero out a relation's cost.
+MIN_CORRECTION = 1.0 / 16.0
+MAX_CORRECTION = 16.0
+
+#: Ratios below this floor are treated as the floor when fitting — an
+#: actual nnz of 0 carries no usable log-ratio information.
+_RATIO_FLOOR = 1e-4
+
+
+class LearnedEstimator:
+    """Base-estimator predictions rescaled by observed execution feedback."""
+
+    name = "learned"
+
+    def __init__(self, base=None, smoothing: float = 0.3):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing!r}")
+        self.base = base if base is not None else MNCEstimator()
+        self.smoothing = smoothing
+        #: relation -> multiplicative nnz correction (log-space EMA state).
+        self._log_correction: Dict[str, float] = {}
+        self._nnz_samples: Dict[str, int] = {}
+        #: backend -> fitted seconds-per-unit-cost (log-space EMA state).
+        self._log_scale: Dict[str, float] = {}
+        self._timing_samples: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ estimator protocol
+    def leaf_info(self, meta, values=None) -> NnzInfo:
+        """Leaves are stored facts — never corrected."""
+        return self.base.leaf_info(meta, values)
+
+    def propagate(
+        self, relation: str, output_shape: Optional[Shape], inputs: Sequence[NnzInfo]
+    ) -> NnzInfo:
+        info = self.base.propagate(relation, output_shape, inputs)
+        factor = self.correction(relation)
+        if factor == 1.0:
+            return info
+        nnz = info.nnz * factor
+        if info.shape is not None:
+            nnz = min(nnz, float(info.shape[0]) * float(info.shape[1]))
+        return NnzInfo(
+            shape=info.shape,
+            nnz=max(nnz, 0.0),
+            row_counts=info.row_counts,
+            col_counts=info.col_counts,
+        )
+
+    # ------------------------------------------------------------------ nnz corrections
+    def correction(self, relation: str) -> float:
+        log_factor = self._log_correction.get(relation)
+        return 1.0 if log_factor is None else math.exp(log_factor)
+
+    def observe_nnz(self, relation: str, predicted: float, actual: float) -> None:
+        """Fold one ``predicted vs. actual`` non-zero observation in."""
+        if predicted <= 0.0 or not math.isfinite(predicted) or not math.isfinite(actual):
+            return
+        ratio = max(actual / predicted, _RATIO_FLOOR)
+        log_ratio = math.log(ratio)
+        log_ratio = min(max(log_ratio, math.log(MIN_CORRECTION)), math.log(MAX_CORRECTION))
+        previous = self._log_correction.get(relation)
+        if previous is None:
+            self._log_correction[relation] = log_ratio
+        else:
+            alpha = self.smoothing
+            self._log_correction[relation] = (1.0 - alpha) * previous + alpha * log_ratio
+        self._nnz_samples[relation] = self._nnz_samples.get(relation, 0) + 1
+
+    def fit(self, observations: Iterable) -> int:
+        """Fold a batch of observations (anything with ``relation`` /
+        ``predicted`` / ``actual`` attributes, e.g.
+        :class:`repro.fuzz.oracle.NnzObservation`).  Returns how many were
+        usable."""
+        count = 0
+        for obs in observations:
+            before = self._nnz_samples.get(obs.relation, 0)
+            self.observe_nnz(obs.relation, float(obs.predicted), float(obs.actual))
+            if self._nnz_samples.get(obs.relation, 0) > before:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ backend latency
+    def observe_execution(self, backend: str, cost: float, seconds: float) -> None:
+        """Fold one ``(plan cost, wall-clock seconds)`` pair for a backend."""
+        if cost <= 0.0 or seconds <= 0.0:
+            return
+        if not (math.isfinite(cost) and math.isfinite(seconds)):
+            return
+        log_scale = math.log(seconds / cost)
+        previous = self._log_scale.get(backend)
+        if previous is None:
+            self._log_scale[backend] = log_scale
+        else:
+            alpha = self.smoothing
+            self._log_scale[backend] = (1.0 - alpha) * previous + alpha * log_scale
+        self._timing_samples[backend] = self._timing_samples.get(backend, 0) + 1
+
+    def predicted_seconds(self, backend: str, cost: float) -> Optional[float]:
+        """Predicted execute latency, or ``None`` before any observation."""
+        log_scale = self._log_scale.get(backend)
+        if log_scale is None or cost < 0.0:
+            return None
+        return math.exp(log_scale) * max(cost, 1.0)
+
+    def backend_ranking(self, cost: float, candidates: Sequence[str]) -> List[str]:
+        """``candidates`` reordered by predicted latency, cheapest first.
+
+        Backends without timing observations keep their relative input
+        order and sort after every fitted one — the router's static
+        fallback order remains the tie-break.
+        """
+        known = [
+            (self.predicted_seconds(name, cost), index, name)
+            for index, name in enumerate(candidates)
+            if name in self._log_scale
+        ]
+        unknown = [name for name in candidates if name not in self._log_scale]
+        known.sort(key=lambda item: (item[0], item[1]))
+        return [name for _, _, name in known] + unknown
+
+    # ------------------------------------------------------------------ introspection
+    def snapshot(self) -> dict:
+        """The fitted state, JSON-ready (for logs and benchmark summaries)."""
+        return {
+            "corrections": {
+                relation: round(self.correction(relation), 6)
+                for relation in sorted(self._log_correction)
+            },
+            "nnz_samples": dict(sorted(self._nnz_samples.items())),
+            "seconds_per_cost": {
+                backend: math.exp(log_scale)
+                for backend, log_scale in sorted(self._log_scale.items())
+            },
+            "timing_samples": dict(sorted(self._timing_samples.items())),
+        }
+
+
+__all__ = ["LearnedEstimator", "MAX_CORRECTION", "MIN_CORRECTION"]

@@ -1,0 +1,127 @@
+"""The committed counterexample corpus: minimized failures become tests.
+
+Every violation the fuzzer finds is shrunk and persisted as one JSON file
+under ``tests/corpus/``.  The file stores the *recipe*, not the data — the
+:class:`~repro.fuzz.generator.CatalogSpec` (seed + dims + density), the
+view definitions, and the minimized expression via the same typed codec the
+wire protocol uses (:func:`repro.api.schema.expr_to_json`) — so replay
+regenerates the exact catalog and re-runs the oracle from scratch.
+
+``tests/test_corpus_replay.py`` loads every case and replays it as an
+ordinary pytest case in tier-1: a fixed planner bug can never silently
+regress.  Cases for *known-open* bugs carry an ``xfail`` field (a short
+issue reference); replay then asserts the failure still reproduces and
+flips to an ordinary failure once the bug is fixed, prompting removal of
+the marker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.api.schema import expr_from_json, expr_to_json
+from repro.benchkit.harness import materialize_views
+from repro.constraints.views import LAView
+from repro.lang import matrix_expr as mx
+
+from repro.fuzz.generator import CatalogSpec, generate_catalog
+from repro.fuzz.oracle import DifferentialOracle, OracleReport, Violation
+
+CORPUS_FORMAT = 1
+
+
+@dataclass
+class CorpusCase:
+    """One minimized counterexample, reproducible from its recipe alone."""
+
+    case_id: str
+    expr: mx.Expr
+    catalog_spec: CatalogSpec
+    views: Tuple[LAView, ...] = ()
+    seed: Optional[int] = None
+    estimator: str = "mnc"
+    #: The violations observed when the case was minted (documentation —
+    #: replay re-derives the live ones).
+    violations: Tuple[Violation, ...] = ()
+    #: Issue reference for a known-open bug; replay xfails instead of failing.
+    xfail: Optional[str] = None
+    notes: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "format": CORPUS_FORMAT,
+            "case_id": self.case_id,
+            "expr": expr_to_json(self.expr),
+            "catalog_spec": self.catalog_spec.to_json(),
+            "views": [
+                {"name": view.name, "definition": expr_to_json(view.definition)}
+                for view in self.views
+            ],
+            "seed": self.seed,
+            "estimator": self.estimator,
+            "violations": [violation.to_json() for violation in self.violations],
+            "xfail": self.xfail,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CorpusCase":
+        fmt = int(payload.get("format", 0))
+        if fmt != CORPUS_FORMAT:
+            raise ValueError(f"unsupported corpus format {fmt} (expected {CORPUS_FORMAT})")
+        return cls(
+            case_id=str(payload["case_id"]),
+            expr=expr_from_json(payload["expr"]),
+            catalog_spec=CatalogSpec.from_json(payload["catalog_spec"]),
+            views=tuple(
+                LAView(str(view["name"]), expr_from_json(view["definition"]))
+                for view in payload.get("views", [])
+            ),
+            seed=payload.get("seed"),
+            estimator=str(payload.get("estimator", "mnc")),
+            violations=tuple(
+                Violation.from_json(item) for item in payload.get("violations", [])
+            ),
+            xfail=payload.get("xfail"),
+            notes=str(payload.get("notes", "")),
+        )
+
+    def replay(self) -> OracleReport:
+        """Regenerate the catalog from the spec and re-run every check."""
+        catalog, _ = generate_catalog(self.catalog_spec)
+        if self.views:
+            materialize_views(list(self.views), catalog)
+        oracle = DifferentialOracle(
+            catalog, views=list(self.views), estimator_name=self.estimator
+        )
+        return oracle.check(self.expr)
+
+
+def case_path(directory: Path, case: CorpusCase) -> Path:
+    return Path(directory) / f"{case.case_id}.json"
+
+
+def save_case(directory: Path, case: CorpusCase) -> Path:
+    """Write one case as pretty-printed JSON (stable diffs under review)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = case_path(directory, case)
+    path.write_text(json.dumps(case.to_json(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_cases(directory: Path) -> List[CorpusCase]:
+    """Every ``*.json`` case under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("*.json")):
+        cases.append(CorpusCase.from_json(json.loads(path.read_text())))
+    return cases
+
+
+__all__ = ["CORPUS_FORMAT", "CorpusCase", "case_path", "load_cases", "save_case"]

@@ -1,0 +1,120 @@
+"""Greedy minimization of failing expressions.
+
+When the oracle flags an expression, the raw counterexample is usually a
+depth-5 tree where only one two-node corner matters.  :func:`shrink`
+reduces it to a *locally minimal* repro: no single reduction step from the
+result still fails.  The reduction moves, tried largest-win first on every
+node of the tree:
+
+1. **hoist** — replace a node by one of its children of the same inferred
+   shape (deletes an operator);
+2. **leaf substitution** — replace a whole subtree by a deterministic
+   catalog leaf of the same shape (deletes a subtree);
+3. **payload decay** — shrink ``MatPow`` exponents toward 0.
+
+Every candidate is shape-checked before the (expensive) ``still_fails``
+predicate runs, and each adopted step strictly decreases the node count, so
+the loop terminates in at most ``size(expr)`` iterations (a hard step cap
+guards pathological predicates anyway).
+
+The predicate is caller-supplied — typically "the oracle still reports a
+violation of the same kind" — which keeps the shrinker independent of what
+*failing* means and reusable from tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.exceptions import ShapeError, UnknownMatrixError
+from repro.lang import matrix_expr as mx
+from repro.lang.shapes import shape_of
+
+from repro.fuzz.oracle import rebuild_node
+
+Shape = Tuple[int, int]
+LeafFactory = Callable[[Shape], Optional[mx.Expr]]
+
+
+def expr_size(expr: mx.Expr) -> int:
+    """Node count of the expression tree."""
+    return 1 + sum(expr_size(child) for child in expr.children)
+
+
+def _safe_shape(expr: mx.Expr, shapes) -> Optional[Shape]:
+    try:
+        return shape_of(expr, shapes)
+    except (ShapeError, UnknownMatrixError):
+        return None
+
+
+def _replace_at(expr: mx.Expr, path: Tuple[int, ...], replacement: mx.Expr) -> mx.Expr:
+    if not path:
+        return replacement
+    index = path[0]
+    children = list(expr.children)
+    children[index] = _replace_at(children[index], path[1:], replacement)
+    return rebuild_node(expr, tuple(children))
+
+
+def _nodes_with_paths(expr: mx.Expr, path: Tuple[int, ...] = ()) -> Iterator[Tuple[Tuple[int, ...], mx.Expr]]:
+    yield path, expr
+    for index, child in enumerate(expr.children):
+        yield from _nodes_with_paths(child, path + (index,))
+
+
+def _candidates(
+    expr: mx.Expr,
+    shapes,
+    leaf_factory: Optional[LeafFactory],
+) -> Iterator[mx.Expr]:
+    """Strictly smaller, shape-preserving variants of ``expr``."""
+    for path, node in _nodes_with_paths(expr):
+        if not node.children:
+            continue
+        node_shape = _safe_shape(node, shapes)
+        if node_shape is None:
+            continue
+        # 1. hoist a same-shape child over its parent.
+        for child in node.children:
+            if _safe_shape(child, shapes) == node_shape:
+                yield _replace_at(expr, path, child)
+        # 2. collapse the subtree to a deterministic catalog leaf.
+        if leaf_factory is not None:
+            leaf = leaf_factory(node_shape)
+            if leaf is not None and expr_size(leaf) < expr_size(node):
+                yield _replace_at(expr, path, leaf)
+        # 3. decay MatPow exponents toward the cheapest power.
+        if isinstance(node, mx.MatPow) and node.exponent > 0:
+            yield _replace_at(expr, path, mx.MatPow(node.child, node.exponent - 1))
+
+
+def shrink(
+    expr: mx.Expr,
+    still_fails: Callable[[mx.Expr], bool],
+    shapes,
+    leaf_factory: Optional[LeafFactory] = None,
+    max_steps: int = 200,
+) -> mx.Expr:
+    """Reduce ``expr`` to a locally minimal expression where ``still_fails``.
+
+    ``shapes`` is anything :func:`repro.lang.shapes.shape_of` accepts (a
+    catalog or a name→shape mapping); ``leaf_factory`` optionally supplies a
+    deterministic replacement leaf per shape (the fuzz runner passes one
+    drawn from the synthetic catalog's inventory).  ``expr`` itself is
+    returned unchanged if no reduction reproduces the failure.
+    """
+    current = expr
+    for _ in range(max_steps):
+        for candidate in _candidates(current, shapes, leaf_factory):
+            if expr_size(candidate) >= expr_size(current):
+                continue
+            if still_fails(candidate):
+                current = candidate
+                break
+        else:
+            break
+    return current
+
+
+__all__ = ["LeafFactory", "expr_size", "shrink"]

@@ -29,6 +29,7 @@ See ``docs/architecture.md`` for where this layer sits in the system and
 
 from repro.service.pool import PlanSessionPool, PoolStats
 from repro.service.router import (
+    AdaptivePolicy,
     DefaultPolicy,
     ExecutionRouter,
     RoutedExecution,
@@ -44,6 +45,7 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
     "AnalyticsService",
     "BatchHook",
     "BatchStats",

@@ -32,13 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+from scipy import sparse
+
 from repro.backends.base import EvaluationResult
 from repro.backends.morpheus import factor_names
 from repro.backends.registry import BackendCapabilities, BackendRegistry, capabilities_of
 from repro.config import DEFAULT_BACKENDS
 from repro.core.result import RewriteResult
 from repro.data.catalog import Catalog
-from repro.exceptions import ExecutionError
+from repro.exceptions import ExecutionError, ShapeError, UnknownMatrixError
+from repro.lang.shapes import shape_of
 from repro.lang.visitor import matrix_ref_names
 
 #: Names under which :meth:`ExecutionRouter.default_backends` registers the
@@ -128,6 +132,39 @@ class DefaultPolicy(RoutingPolicy):
         return order
 
 
+class AdaptivePolicy(RoutingPolicy):
+    """Order LA-capable backends by a fitted latency model.
+
+    Wraps a :class:`~repro.cost.LearnedEstimator` (or anything exposing
+    ``backend_ranking(cost, candidates)``): the fallback policy — the
+    capability-aware :class:`DefaultPolicy` unless another is given —
+    produces the candidate list, the explicit per-request backend keeps
+    absolute priority, and the remaining candidates are reordered by the
+    estimator's predicted execute latency for this plan's cost.  Before any
+    timing observation has been fitted the ranking is a no-op, so an
+    unfitted adaptive policy behaves exactly like its fallback.
+    """
+
+    def __init__(self, estimator, fallback: Optional[RoutingPolicy] = None):
+        if not hasattr(estimator, "backend_ranking"):
+            raise TypeError(
+                "AdaptivePolicy needs an estimator with backend_ranking(); "
+                f"got {type(estimator).__name__}"
+            )
+        self.estimator = estimator
+        self.fallback = fallback if fallback is not None else DefaultPolicy()
+
+    def candidates(self, result, request=None, backends=None) -> Sequence[str]:
+        order = list(self.fallback.candidates(result, request, backends))
+        pinned = getattr(request, "backend", None)
+        head = [name for name in order if name == pinned]
+        tail = [name for name in order if name != pinned]
+        cost = getattr(result, "best_cost", None)
+        if cost is None or not np.isfinite(cost):
+            cost = 1.0
+        return head + list(self.estimator.backend_ranking(float(cost), tail))
+
+
 @dataclass
 class RoutedExecution:
     """Outcome of routing one plan: who ran it, the value, who failed first."""
@@ -157,6 +194,7 @@ class ExecutionRouter:
         policy: Optional[RoutingPolicy] = None,
         registry: Optional[BackendRegistry] = None,
         backend_names: Optional[Sequence[str]] = None,
+        validate_results: bool = True,
     ):
         self.catalog = catalog
         self.registry = registry if registry is not None else BackendRegistry.with_defaults()
@@ -165,6 +203,9 @@ class ExecutionRouter:
         else:
             self.backends = self.registry.create_all(catalog, names=backend_names)
         self.policy = policy if policy is not None else DefaultPolicy()
+        #: Reject poisoned results (non-finite values, wrong output shape)
+        #: as backend failures instead of returning them as answers.
+        self.validate_results = validate_results
 
     @staticmethod
     def default_backends(catalog: Catalog) -> Dict[str, object]:
@@ -179,6 +220,47 @@ class ExecutionRouter:
         """The capability declaration of the instance registered as ``name``."""
         return capabilities_of(self.backends[name])
 
+    def _poison_check(
+        self, result: RewriteResult, evaluation: EvaluationResult, use_rewritten: bool
+    ) -> Optional[str]:
+        """Why ``evaluation`` must not be served, or ``None`` when it's sane.
+
+        Two cheap invariants catch the silent-wrong-answer class of backend
+        bugs: every cell must be finite (a NaN/inf anywhere poisons any
+        downstream aggregate), and the value's shape must match the plan's
+        statically inferred output shape.  Scalars are compared as the 1x1
+        matrices the value helpers canonicalize them to (§3's degenerate-
+        matrix convention).
+        """
+        value = evaluation.value
+        if sparse.issparse(value):
+            data = value.data
+        else:
+            data = np.asarray(value, dtype=np.float64)
+        if data.size and not np.all(np.isfinite(data)):
+            return "result is poisoned: contains non-finite values (NaN/inf)"
+        expr = result.best if use_rewritten else result.original
+        try:
+            expected = shape_of(expr, self.catalog)
+        except (ShapeError, UnknownMatrixError):
+            return None
+        if sparse.issparse(value):
+            actual = tuple(value.shape)
+        else:
+            dense = np.asarray(value)
+            if dense.ndim == 0:
+                actual = (1, 1)
+            elif dense.ndim == 1:
+                actual = (dense.shape[0], 1)
+            else:
+                actual = tuple(dense.shape)
+        if actual != tuple(expected):
+            return (
+                f"result is poisoned: shape {actual} does not match the "
+                f"plan's inferred shape {tuple(expected)}"
+            )
+        return None
+
     def execute(
         self,
         result: RewriteResult,
@@ -189,8 +271,11 @@ class ExecutionRouter:
 
         Candidates come from the policy; each failure with
         :class:`ExecutionError` (including unregistered names) is recorded
-        and the next candidate is tried.  Raises :class:`ExecutionError`
-        with the full failure log when no candidate succeeds.
+        and the next candidate is tried, as is any candidate returning a
+        poisoned value (non-finite cells or a shape contradicting the
+        plan's inferred output shape) when ``validate_results`` is on.
+        Raises :class:`ExecutionError` with the full failure log when no
+        candidate succeeds.
         """
         candidates = list(self.policy.candidates(result, request, self.backends))
         failures: List[tuple] = []
@@ -204,6 +289,11 @@ class ExecutionRouter:
             except ExecutionError as exc:
                 failures.append((name, str(exc)))
                 continue
+            if self.validate_results:
+                poison = self._poison_check(result, evaluation, use_rewritten)
+                if poison is not None:
+                    failures.append((name, poison))
+                    continue
             return RoutedExecution(backend=name, evaluation=evaluation, failures=failures)
         raise ExecutionError(
             f"no backend could execute the plan (tried {candidates!r}): {failures!r}"
@@ -212,6 +302,7 @@ class ExecutionRouter:
 
 __all__ = [
     "DEFAULT_BACKEND_NAMES",
+    "AdaptivePolicy",
     "DefaultPolicy",
     "ExecutionRouter",
     "RoutedExecution",

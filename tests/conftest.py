@@ -1,6 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the pinned Hypothesis profile for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +11,26 @@ from scipy import sparse
 from repro.data.catalog import Catalog
 from repro.data.matrix import MatrixData, MatrixType
 from repro.data.table import Table
+
+try:  # hypothesis is a test-only dependency; fixtures must import without it
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - exercised only without the test extra
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    # One pinned profile for every property test (test_saturation_fast.py,
+    # test_fuzz.py): no deadline (saturation timing varies across machines,
+    # a deadline would flake) and print_blob so a failing example prints its
+    # reproduction recipe.  CI additionally derandomizes: the same examples
+    # on every run, so a red CI is always reproducible locally with
+    # HYPOTHESIS_PROFILE=ci (see docs/testing.md).
+    _hypothesis_settings.register_profile("repro", deadline=None, print_blob=True)
+    _hypothesis_settings.register_profile(
+        "ci", parent=_hypothesis_settings.get_profile("repro"), derandomize=True
+    )
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "repro")
+    )
 
 
 @pytest.fixture()

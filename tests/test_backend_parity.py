@@ -1,0 +1,55 @@
+"""Numeric cross-backend parity over the full 57-pipeline benchmark corpus.
+
+Until this PR only *plan bytes* were compared across layers; nothing ever
+asserted that the three LA substrates (as-stated NumPy, the SystemML-style
+partially-optimizing backend, the Morpheus factorized backend) agree on
+*values*.  This suite executes every benchkit pipeline on a small concrete
+catalog on all three and compares results with operator-aware tolerances —
+the same backtest invariant the fuzz oracle enforces on random expressions,
+here pinned on the paper's fixed workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import MorpheusBackend, NumpyBackend, SystemMLLikeBackend
+from repro.backends.base import to_dense
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+from repro.benchkit.pipelines import PIPELINES, build_pipeline, default_roles
+from repro.fuzz.oracle import tolerance_for
+
+SCALE = 0.004  # same small-instance scale the planner tests use
+
+
+@pytest.fixture(scope="module")
+def parity_env():
+    catalog = benchmark_catalog(scale=SCALE)
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    backends = {
+        "numpy": NumpyBackend(catalog),
+        "systemml_like": SystemMLLikeBackend(catalog),
+        "morpheus": MorpheusBackend(catalog),
+    }
+    return catalog, roles, backends
+
+
+@pytest.mark.parametrize("name", sorted(PIPELINES))
+def test_pipeline_backends_agree(parity_env, name):
+    _, roles, backends = parity_env
+    expr = build_pipeline(name, roles)
+    rtol, atol = tolerance_for(expr)
+    reference = to_dense(backends["numpy"].evaluate(expr))
+    assert np.all(np.isfinite(reference)), f"{name}: numpy reference is not finite"
+    for backend_name in ("systemml_like", "morpheus"):
+        value = to_dense(backends[backend_name].evaluate(expr))
+        assert value.shape == reference.shape, (
+            f"{name}: {backend_name} returned shape {value.shape}, "
+            f"numpy returned {reference.shape}"
+        )
+        assert np.allclose(value, reference, rtol=rtol, atol=atol), (
+            f"{name}: {backend_name} diverges from numpy by "
+            f"max |delta|={np.max(np.abs(value - reference)):.3e} "
+            f"(rtol={rtol}, atol={atol})"
+        )

@@ -1,0 +1,42 @@
+"""Replay the committed counterexample corpus as ordinary tier-1 tests.
+
+Each ``tests/corpus/*.json`` case regenerates its synthetic catalog from
+the stored :class:`~repro.fuzz.generator.CatalogSpec`, plans its expression
+through the engine and re-runs the full differential-oracle battery.  A
+minimized fuzz failure committed here therefore becomes a permanent
+regression test; a case whose ``xfail`` field names a known-open issue is
+expected to keep failing until the bug is fixed (and then flips red,
+prompting removal of the marker).  See ``tests/corpus/README.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_cases
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = load_cases(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    assert CASES, f"no corpus cases found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=[case.case_id for case in CASES])
+def test_corpus_case_replays(case):
+    report = case.replay()
+    if case.xfail:
+        if report.violations:
+            pytest.xfail(f"known-open bug {case.xfail}: {report.violations[0].detail}")
+        pytest.fail(
+            f"case {case.case_id} marked xfail ({case.xfail}) now replays clean — "
+            "the bug is fixed; remove the xfail field to lock in the regression test"
+        )
+    assert report.error is None, f"{case.case_id}: replay unusable: {report.error}"
+    assert not report.violations, (
+        f"{case.case_id} regressed: "
+        + "; ".join(f"[{v.kind}] {v.detail}" for v in report.violations)
+    )

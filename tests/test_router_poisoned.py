@@ -1,0 +1,183 @@
+"""ExecutionRouter behaviour on poisoned backend results (satellite of the
+fuzzing PR): a backend that *returns* garbage — NaN/inf cells or a value
+whose shape contradicts the plan — must be treated exactly like a backend
+that *raised*: recorded in the failure chain and fallen back from, never
+served as a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.api import Engine
+from repro.backends import NumpyBackend
+from repro.backends.base import EvaluationResult
+from repro.exceptions import ExecutionError
+from repro.fuzz import CatalogSpec, generate_catalog
+from repro.lang import matrix_expr as mx
+from repro.service import AdaptivePolicy, ExecutionRouter, StaticPolicy
+from repro.cost import LearnedEstimator
+
+
+class _FixedValueBackend:
+    """A backend stub returning a canned value for every plan."""
+
+    name = "stub"
+
+    def __init__(self, value):
+        self.value = value
+        self.calls = 0
+
+    def execute_plan(self, result, use_rewritten=True):
+        self.calls += 1
+        return EvaluationResult(value=self.value, seconds=0.001)
+
+
+@pytest.fixture(scope="module")
+def planned():
+    catalog, _ = generate_catalog(CatalogSpec(seed=3, dims=(2, 3, 5)))
+    engine = Engine(catalog)
+    expr = mx.Add(mx.MatrixRef("D3x3"), mx.MatrixRef("P3x3"))
+    return catalog, engine.rewrite(expr)
+
+
+def _router(catalog, backends, order, **kwargs):
+    return ExecutionRouter(
+        catalog, backends=backends, policy=StaticPolicy(order), **kwargs
+    )
+
+
+class TestPoisonedResults:
+    def test_nan_result_falls_back(self, planned):
+        catalog, result = planned
+        poisoned = _FixedValueBackend(np.full((3, 3), np.nan))
+        router = _router(
+            catalog,
+            {"poisoned": poisoned, "numpy": NumpyBackend(catalog)},
+            ["poisoned", "numpy"],
+        )
+        routed = router.execute(result)
+        assert routed.backend == "numpy"
+        assert poisoned.calls == 1
+        [(failed_name, reason)] = routed.failures
+        assert failed_name == "poisoned"
+        assert "non-finite" in reason
+
+    def test_shape_mismatch_falls_back(self, planned):
+        catalog, result = planned
+        wrong_shape = _FixedValueBackend(np.ones((2, 2)))
+        router = _router(
+            catalog,
+            {"wrong": wrong_shape, "numpy": NumpyBackend(catalog)},
+            ["wrong", "numpy"],
+        )
+        routed = router.execute(result)
+        assert routed.backend == "numpy"
+        [(failed_name, reason)] = routed.failures
+        assert failed_name == "wrong"
+        assert "(2, 2)" in reason and "(3, 3)" in reason
+
+    def test_sparse_nan_result_falls_back(self, planned):
+        catalog, result = planned
+        bad = sparse.csr_matrix(np.array([[np.nan, 0.0, 0.0]] * 3))
+        router = _router(
+            catalog,
+            {"sparse-bad": _FixedValueBackend(bad), "numpy": NumpyBackend(catalog)},
+            ["sparse-bad", "numpy"],
+        )
+        routed = router.execute(result)
+        assert routed.backend == "numpy"
+        assert "non-finite" in routed.failures[0][1]
+
+    def test_all_poisoned_raises_with_clear_chain(self, planned):
+        catalog, result = planned
+        router = _router(
+            catalog,
+            {
+                "nan": _FixedValueBackend(np.full((3, 3), np.inf)),
+                "wrong": _FixedValueBackend(np.ones((5, 5))),
+            },
+            ["nan", "wrong"],
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            router.execute(result)
+        message = str(excinfo.value)
+        assert "no backend could execute the plan" in message
+        assert "non-finite" in message
+        assert "poisoned" in message
+
+    def test_validation_can_be_disabled(self, planned):
+        catalog, result = planned
+        poisoned = _FixedValueBackend(np.full((3, 3), np.nan))
+        router = _router(
+            catalog, {"poisoned": poisoned}, ["poisoned"], validate_results=False
+        )
+        routed = router.execute(result)  # documented opt-out: garbage in, garbage out
+        assert routed.backend == "poisoned"
+        assert np.isnan(routed.evaluation.value).all()
+
+    def test_scalar_results_pass_validation(self):
+        catalog, _ = generate_catalog(CatalogSpec(seed=3, dims=(2, 3, 5)))
+        engine = Engine(catalog)
+        result = engine.rewrite(mx.SumAll(mx.MatrixRef("D3x3")))
+        router = ExecutionRouter(catalog)
+        routed = router.execute(result)
+        value = np.asarray(routed.evaluation.value)
+        assert value.size == 1 and np.isfinite(value).all()
+
+    def test_clean_backend_has_no_failures(self, planned):
+        catalog, result = planned
+        router = _router(catalog, {"numpy": NumpyBackend(catalog)}, ["numpy"])
+        routed = router.execute(result)
+        assert routed.failures == []
+
+
+class TestAdaptivePolicy:
+    def test_requires_ranking_estimator(self):
+        with pytest.raises(TypeError, match="backend_ranking"):
+            AdaptivePolicy(object())
+
+    def test_unfitted_matches_fallback_order(self, planned):
+        catalog, result = planned
+        backends = ExecutionRouter.default_backends(catalog)
+        fallback = StaticPolicy(["numpy", "systemml_like", "morpheus"])
+        adaptive = AdaptivePolicy(LearnedEstimator(), fallback=fallback)
+        assert list(adaptive.candidates(result, None, backends)) == list(
+            fallback.candidates(result, None, backends)
+        )
+
+    def test_fitted_reorders_by_predicted_latency(self, planned):
+        catalog, result = planned
+        backends = ExecutionRouter.default_backends(catalog)
+        estimator = LearnedEstimator(smoothing=1.0)
+        estimator.observe_execution("numpy", cost=100.0, seconds=0.10)
+        estimator.observe_execution("systemml_like", cost=100.0, seconds=0.01)
+        adaptive = AdaptivePolicy(
+            estimator, fallback=StaticPolicy(["numpy", "systemml_like", "morpheus"])
+        )
+        order = list(adaptive.candidates(result, None, backends))
+        assert order[0] == "systemml_like"
+        assert order[-1] == "morpheus"  # unfitted backends keep their position at the tail
+
+    def test_explicit_request_backend_stays_first(self, planned):
+        catalog, result = planned
+
+        class Request:
+            backend = "morpheus"
+
+        backends = ExecutionRouter.default_backends(catalog)
+        estimator = LearnedEstimator(smoothing=1.0)
+        estimator.observe_execution("numpy", cost=100.0, seconds=0.001)
+        adaptive = AdaptivePolicy(estimator)
+        order = list(adaptive.candidates(result, Request(), backends))
+        assert order[0] == "morpheus"
+
+    def test_router_integration(self, planned):
+        catalog, result = planned
+        estimator = LearnedEstimator(smoothing=1.0)
+        estimator.observe_execution("systemml_like", cost=1.0, seconds=1e-6)
+        router = ExecutionRouter(catalog, policy=AdaptivePolicy(estimator))
+        routed = router.execute(result)
+        assert routed.backend == "systemml_like"

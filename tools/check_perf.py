@@ -122,6 +122,22 @@ TRACKED: Dict[str, List[Metric]] = {
         Metric("optimized.matches_attempted", "ratio", direction="lower"),
         Metric("optimized.atoms_materialized", "ratio", direction="lower"),
     ],
+    "learned_router": [
+        # The adaptive cost model's closed loop: the "learned" estimator is
+        # selectable by name, plans with a fitted instance, and the oracle-
+        # verified hybrid suite (Q1-Q10) shows zero equivalence violations.
+        Metric("acceptance.learned_selectable", "flag"),
+        Metric("acceptance.learned_plans", "flag"),
+        Metric("acceptance.hybrid_no_violations", "flag"),
+        # Adaptive routing must serve the same values as static routing and
+        # must not be slower end-to-end (the PR's acceptance criterion);
+        # the measured margin is ~1.7x, the floor absorbs timer noise.
+        Metric("acceptance.values_identical", "flag"),
+        Metric("acceptance.adaptive_not_slower", "flag"),
+        Metric("routing.speedup", "threshold", minimum=0.9),
+        # The calibration pass must actually feed the estimator.
+        Metric("calibration.nnz_observations", "threshold", minimum=10.0),
+    ],
     "gateway_workspace_sweep": [
         # Multi-tenant serving: >= 2 workspaces served concurrently through
         # one gateway, every answer byte-identical to its *own* tenant's
