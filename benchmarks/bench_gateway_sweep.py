@@ -19,22 +19,39 @@ concurrently, every answer byte-identical to *its own tenant's* serial
 plans (a cross-tenant cache hit would surface as a plan mismatch), and the
 tenants' plans provably distinct.
 
+A third sweep (``--planner-workers``) exercises the **multi-process worker
+tier** (:mod:`repro.server.workers`): 16 tenants cold-plan the chase-bound
+pipelines (P2.17/P2.21 — saturation dominates their latency, so the GIL
+serializes the in-process path) through gateways running 0/1/2/4 planner
+worker processes.  The acceptance criteria: plans byte-identical to the
+in-process path at every worker count, every response produced by exactly
+the worker the consistent-hash ring assigns that tenant (warm-cache
+stickiness, verified again under a 2-hot-tenant skewed load), and — on
+machines with >= 4 cores, i.e. CI runners — >= 2.5x plans/sec at 4 workers
+vs the in-process path.
+
 Run under pytest (``python -m pytest benchmarks/bench_gateway_sweep.py``)
 for the assertions, or directly
-(``python benchmarks/bench_gateway_sweep.py [--workspaces]``) to emit the
-JSON summaries the perf-regression gate (``tools/check_perf.py``) tracks.
+(``python benchmarks/bench_gateway_sweep.py [--workspaces |
+--planner-workers]``) to emit the JSON summaries the perf-regression gate
+(``tools/check_perf.py``) tracks.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+
+import pytest
 
 from repro.api import Engine, EngineConfig, WorkspaceRegistry
 from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
 from repro.benchkit.harness import (
+    TenantEngineFactory,
     materialize_views,
     run_gateway_sweep,
+    run_worker_sweep,
     run_workspace_sweep,
 )
 from repro.benchkit.pipelines import build_pipeline, default_roles
@@ -130,6 +147,34 @@ def measure_workspaces(scale: float = 0.01) -> dict:
     return summary
 
 
+#: Pipelines for the worker-pool sweep: the *chase-bound* pair (their
+#: saturation materializes >= 100 atoms; see bench_saturation.py), where
+#: the GIL actually serializes the in-process path and worker processes
+#: therefore show real scaling.
+WORKER_SAMPLE = ["P2.17", "P2.21"]
+
+#: 16 tenants spread well over a 4-worker hash ring (the consistent-hash
+#: split at 96 virtual points per worker is 3/4/5/4), so the makespan at 4
+#: workers leaves the >= 2.5x scaling floor reachable.
+WORKER_TENANTS = tuple(f"tenant-{index:02d}" for index in range(16))
+
+#: The worker-count axis; 0 is the in-process reference path.
+WORKER_COUNTS = (0, 1, 2, 4)
+
+
+def measure_workers(scale: float = 0.01) -> dict:
+    """Run the worker-scaling sweep + the 2-hot-tenant skew phase."""
+    factory = TenantEngineFactory(tenants=WORKER_TENANTS, scale=scale)
+    summary = run_worker_sweep(
+        _pipelines(WORKER_SAMPLE),
+        factory=factory,
+        tenant_names=WORKER_TENANTS,
+        worker_counts=WORKER_COUNTS,
+    )
+    summary["scale"] = scale
+    return summary
+
+
 def test_gateway_sustains_200_inflight(catalog):
     """Acceptance: >= 200 concurrent in-flight, micro-batching observed,
     plans byte-identical to serial, nothing rejected at this bound."""
@@ -198,8 +243,51 @@ def test_multi_workspace_tenants_served_concurrently_and_isolated(catalog):
     assert point["requests_answered"] == point["requests_sent"]
 
 
+def test_worker_pool_byte_identical_and_isolated():
+    """Acceptance (worker tier, any machine): plans byte-identical to the
+    in-process path, every response from exactly the assigned worker, warm
+    rounds all cache hits (shard stickiness), skewed hot tenants isolated,
+    zero lost requests and zero respawns under healthy load."""
+    tenants = tuple(f"tenant-{index:02d}" for index in range(6))
+    summary = run_worker_sweep(
+        _pipelines(WORKER_SAMPLE),
+        factory=TenantEngineFactory(tenants=tenants, scale=0.01),
+        tenant_names=tenants,
+        worker_counts=(0, 2),
+        hot_factor=4,
+    )
+    acceptance = summary["acceptance"]
+    assert acceptance["byte_identical_all_points"], summary["points"]
+    assert acceptance["worker_attribution_ok"], summary["points"]
+    assert acceptance["warm_rounds_all_cache_hits"], summary["points"]
+    assert acceptance["no_lost_requests"], summary["points"]
+    assert acceptance["skew_light_byte_identical"], summary["skew"]
+    assert acceptance["skew_hot_cache_hit_fraction"] >= 0.7, summary["skew"]
+    assert acceptance["restarts_total"] == 0, summary
+
+
+# The scaling acceptance re-plans the chase-bound pair across four gateway
+# configurations — minutes of work that the perf job already runs via the
+# script path; keep it out of tier-1 and the coverage job.
+@pytest.mark.slow
+def test_worker_scaling_near_linear_on_multicore():
+    """Acceptance (>= 4 cores, i.e. CI): 4 planner workers deliver >= 2.5x
+    the in-process plans/sec on the chase-bound workload.  Physically
+    impossible on fewer cores (workers are processes), hence the skip."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("worker scaling needs >= 4 cores; this machine has fewer")
+    summary = measure_workers()
+    scaling = summary["scaling"]
+    assert scaling["floor_is_multicore"], scaling
+    assert scaling["scaling_x"] >= 2.5, scaling
+    assert summary["acceptance"]["byte_identical_all_points"], summary["points"]
+    assert summary["acceptance"]["no_lost_requests"], summary["points"]
+
+
 if __name__ == "__main__":
     if "--workspaces" in sys.argv[1:]:
         print(json.dumps(measure_workspaces(), indent=2))
+    elif "--planner-workers" in sys.argv[1:]:
+        print(json.dumps(measure_workers(), indent=2))
     else:
         print(json.dumps(measure(), indent=2))

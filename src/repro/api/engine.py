@@ -582,7 +582,19 @@ class Engine:
         )
 
     # ------------------------------------------------------------------ serving
-    def build_gateway(self, **overrides):
+    def invalidate_workspace(self, name: str) -> None:
+        """Drop a workspace's cached runtime (pool, sessions, plans).
+
+        The next request against the name rebuilds from the registry.  The
+        worker-pool tier calls this inside each worker process when the
+        supervising gateway reports a registry delta, so a worker's warm
+        caches never serve a superseded bundle.  Unknown names are a no-op.
+        """
+        with self._runtimes_lock:
+            self._runtimes.pop(name, None)
+            self._build_locks.pop(name, None)
+
+    def build_gateway(self, worker_factory=None, **overrides):
         """The asyncio gateway over this engine's workspaces (not started).
 
         ``overrides`` patch individual :class:`~repro.config.GatewayConfig`
@@ -590,6 +602,11 @@ class Engine:
         caller observe one gateway per engine.  The gateway routes
         per-request ``workspace`` fields across every registered workspace
         and serves ``/v1/workspaces``.
+
+        ``worker_factory`` (required iff ``GatewayConfig.planner_workers``
+        > 0) is a picklable zero-argument callable building the engine each
+        spawned planner worker process plans with — see
+        :mod:`repro.server.workers`.
         """
         if self._gateway is None:
             from repro.server.gateway import AnalyticsGateway
@@ -606,16 +623,18 @@ class Engine:
             # failing the whole gateway here.
             with suppress_legacy_warnings():
                 self._gateway = AnalyticsGateway(
-                    config=gateway_config, workspaces=self
+                    config=gateway_config,
+                    workspaces=self,
+                    worker_factory=worker_factory,
                 )
-        elif overrides:
+        elif overrides or worker_factory is not None:
             raise ConfigError(
                 "this engine already built its gateway; configure it via "
                 "EngineConfig.gateway (or build_gateway overrides) before first use"
             )
         return self._gateway
 
-    async def serve(self, **overrides):
+    async def serve(self, worker_factory=None, **overrides):
         """Start (and return) the gateway bound to this engine.
 
         Usage::
@@ -623,8 +642,13 @@ class Engine:
             gateway = await engine.serve()
             ...
             await gateway.stop()
+
+        With ``planner_workers=N`` (N > 0) in the gateway config (or as an
+        override), pass ``worker_factory`` — a picklable zero-argument
+        callable rebuilding this engine — and planning fans out across N
+        supervised worker processes sharded by workspace.
         """
-        gateway = self.build_gateway(**overrides)
+        gateway = self.build_gateway(worker_factory=worker_factory, **overrides)
         await gateway.start()
         return gateway
 

@@ -562,6 +562,339 @@ def run_workspace_sweep(
     }
 
 
+@dataclass(frozen=True)
+class TenantEngineFactory:
+    """A picklable multi-tenant engine factory for the worker-pool tier.
+
+    The worker sweep (and the chaos tests) need the *same* engine built in
+    the gateway process and inside every spawned planner worker; a closure
+    cannot cross the spawn boundary, a module-level dataclass with
+    ``__call__`` can.  Every tenant gets the benchkit catalog at ``scale``
+    (one shared catalog object per engine — tenants are isolation-
+    equivalent, not data-divergent, which is exactly what the byte-identity
+    check needs).
+    """
+
+    tenants: Tuple[str, ...]
+    scale: float = 0.01
+    max_sessions: int = 4
+
+    def __call__(self) -> "object":
+        from repro.api import Engine, EngineConfig, WorkspaceRegistry
+        from repro.benchkit.datasets import benchmark_catalog
+
+        catalog = benchmark_catalog(scale=self.scale)
+        registry = WorkspaceRegistry()
+        for tenant in self.tenants:
+            registry.register(tenant, catalog=catalog)
+        return Engine(
+            workspaces=registry,
+            config=EngineConfig(service={"max_sessions": self.max_sessions}),
+        )
+
+
+def run_worker_sweep(
+    pipelines: Sequence[Tuple[str, mx.Expr]],
+    factory: Callable[[], "object"],
+    tenant_names: Sequence[str],
+    worker_counts: Sequence[int] = (0, 1, 2, 4),
+    hot_tenants: int = 2,
+    hot_factor: int = 6,
+    scaling_floor_multicore: float = 2.5,
+    scaling_floor_fallback: float = 0.4,
+    max_in_flight: Optional[int] = None,
+    host: str = "127.0.0.1",
+) -> dict:
+    """The worker-pool scaling + isolation sweep behind ``--planner-workers``.
+
+    For every count in ``worker_counts`` a fresh engine (from ``factory``,
+    which must be picklable — see :class:`TenantEngineFactory`) serves a
+    fresh gateway with that many planner worker processes (0 = the
+    in-process path), and one client per tenant cold-plans the pipeline
+    batch.  Each point records plans/sec, byte-identity of every answer
+    against a serial reference session, worker attribution (every response
+    produced by exactly the worker the hash ring assigns that tenant), and
+    a warm second round that must be all cache hits — the proof that a
+    tenant's requests keep landing on the same warm cache.
+
+    The ``skew`` phase then drives a 2-hot-tenant skewed load at the
+    largest worker count: the hot tenants fire ``hot_factor``× the request
+    volume of the light tenants, and the summary records per-tenant
+    byte-identity, attribution, and the hot tenants' warm-hit fraction —
+    no cross-tenant interference, structurally verified.
+
+    The scaling acceptance is CPU-aware: workers are *processes*, so the
+    ≥``scaling_floor_multicore``× plans/sec floor at the largest count only
+    physically exists with ≥ 4 cores (CI); below that the floor degrades to
+    ``scaling_floor_fallback`` (collapse detection — the worker tier must
+    not be dramatically slower than in-process even on one core).
+    """
+    import asyncio
+    import os
+
+    from repro.planner.session import PlanSession
+    from repro.server import GatewayClient
+
+    pipelines = list(pipelines)
+    tenant_names = list(tenant_names)
+    worker_counts = sorted(set(int(count) for count in worker_counts))
+
+    def serial_reference(engine) -> Dict[str, Dict[str, str]]:
+        """Per-tenant serial plans, computed once per distinct bundle."""
+        plans: Dict[str, Dict[str, str]] = {}
+        by_bundle: Dict[tuple, Dict[str, str]] = {}
+        for tenant in tenant_names:
+            workspace = engine.workspaces.get(tenant)
+            key = (id(workspace.catalog), tuple(v.name for v in workspace.views))
+            cached = by_bundle.get(key)
+            if cached is None:
+                session = PlanSession(
+                    catalog=workspace.catalog,
+                    views=list(workspace.views),
+                    estimator=workspace.estimator,
+                    config=workspace.config,
+                )
+                cached = {
+                    name: result.best.to_string()
+                    for (name, _), result in zip(
+                        pipelines,
+                        session.rewrite_all([expr for _, expr in pipelines]),
+                    )
+                }
+                by_bundle[key] = cached
+            plans[tenant] = cached
+        return plans
+
+    async def start_gateway(engine, workers: int):
+        with suppress_legacy_warnings():
+            gateway = engine.build_gateway(
+                worker_factory=factory if workers else None,
+                host=host,
+                planner_workers=workers,
+                batch_window_seconds=0.002,
+                max_in_flight=max_in_flight
+                if max_in_flight is not None
+                else max(len(tenant_names) * (hot_factor + 2) * 2, 64),
+            )
+        await gateway.start()
+        return gateway
+
+    async def tenant_storm(
+        gateway, serial_plans, rounds: int = 1
+    ) -> Tuple[dict, float]:
+        """One client per tenant; each covers the batch ``rounds`` times."""
+        clients = await asyncio.gather(
+            *[GatewayClient(host, gateway.port).connect() for _ in tenant_names]
+        )
+        supervisor = gateway.supervisor
+        outcome = {
+            "answered": 0,
+            "mismatched": [],
+            "misrouted": [],
+            "cache_hits": 0,
+        }
+
+        async def one_tenant(index: int) -> None:
+            tenant = tenant_names[index]
+            client = clients[index]
+            expected_worker = (
+                supervisor.route(tenant) if supervisor is not None else None
+            )
+            for turn in range(rounds):
+                for name, expr in pipelines:
+                    response = await client.submit(expr, name=name, workspace=tenant)
+                    outcome["answered"] += 1
+                    if response["plan"] != serial_plans[tenant][name]:
+                        outcome["mismatched"].append(f"{tenant}:{name}")
+                    if response.get("cache_hit"):
+                        outcome["cache_hits"] += 1
+                    if (
+                        expected_worker is not None
+                        and response.get("worker") != expected_worker
+                    ):
+                        outcome["misrouted"].append(f"{tenant}:{name}")
+
+        start = time.perf_counter()
+        try:
+            await asyncio.gather(*[one_tenant(i) for i in range(len(tenant_names))])
+        finally:
+            await asyncio.gather(
+                *[client.close() for client in clients], return_exceptions=True
+            )
+        return outcome, time.perf_counter() - start
+
+    async def run_point(workers: int) -> dict:
+        engine = factory()
+        serial_plans = serial_reference(engine)
+        gateway = await start_gateway(engine, workers)
+        try:
+            cold, seconds = await tenant_storm(gateway, serial_plans)
+            warm, _ = await tenant_storm(gateway, serial_plans)
+            supervisor = gateway.supervisor
+            requests_sent = len(tenant_names) * len(pipelines)
+            return {
+                "planner_workers": workers,
+                "requests_sent": requests_sent,
+                "requests_answered": cold["answered"],
+                "seconds": seconds,
+                "plans_per_sec": cold["answered"] / seconds
+                if seconds > 0
+                else float("inf"),
+                "byte_identical": not cold["mismatched"] and not warm["mismatched"],
+                "worker_attribution_ok": not cold["misrouted"]
+                and not warm["misrouted"],
+                "warm_round_all_cache_hits": warm["cache_hits"] == warm["answered"],
+                "no_lost_requests": cold["answered"] == requests_sent,
+                "restarts": supervisor.restarts_total if supervisor else 0,
+                "mismatched": sorted(set(cold["mismatched"] + warm["mismatched"])),
+            }
+        finally:
+            await gateway.stop()
+
+    async def run_skew(workers: int) -> dict:
+        """2-hot-tenant skewed load at the largest worker count."""
+        engine = factory()
+        serial_plans = serial_reference(engine)
+        gateway = await start_gateway(engine, workers)
+        try:
+            supervisor = gateway.supervisor
+            hot = list(tenant_names[:hot_tenants])
+            light = [tenant for tenant in tenant_names if tenant not in hot]
+            clients = {
+                tenant: await GatewayClient(host, gateway.port).connect()
+                for tenant in tenant_names
+            }
+            counters = {
+                "mismatched_light": [],
+                "misrouted": [],
+                "hot_answered": 0,
+                "hot_cache_hits": 0,
+                "light_answered": 0,
+            }
+
+            async def drive(tenant: str, rounds: int, is_hot: bool) -> None:
+                client = clients[tenant]
+                expected_worker = (
+                    supervisor.route(tenant) if supervisor is not None else None
+                )
+                for turn in range(rounds):
+                    for name, expr in pipelines:
+                        response = await client.submit(
+                            expr, name=name, workspace=tenant
+                        )
+                        if (
+                            expected_worker is not None
+                            and response.get("worker") != expected_worker
+                        ):
+                            counters["misrouted"].append(f"{tenant}:{name}")
+                        if is_hot:
+                            counters["hot_answered"] += 1
+                            if response.get("cache_hit"):
+                                counters["hot_cache_hits"] += 1
+                        else:
+                            counters["light_answered"] += 1
+                            if response["plan"] != serial_plans[tenant][name]:
+                                counters["mismatched_light"].append(
+                                    f"{tenant}:{name}"
+                                )
+
+            try:
+                await asyncio.gather(
+                    *[drive(tenant, hot_factor, True) for tenant in hot],
+                    *[drive(tenant, 1, False) for tenant in light],
+                )
+            finally:
+                await asyncio.gather(
+                    *[client.close() for client in clients.values()],
+                    return_exceptions=True,
+                )
+            hot_workers = sorted(
+                {supervisor.route(tenant) for tenant in hot}
+                if supervisor is not None
+                else set()
+            )
+            expected_light = len(light) * len(pipelines)
+            expected_hot = len(hot) * hot_factor * len(pipelines)
+            return {
+                "planner_workers": workers,
+                "hot_tenants": hot,
+                "hot_workers": hot_workers,
+                "light_tenants_answered": counters["light_answered"],
+                "hot_tenants_answered": counters["hot_answered"],
+                "no_lost_requests": counters["light_answered"] == expected_light
+                and counters["hot_answered"] == expected_hot,
+                "light_byte_identical": not counters["mismatched_light"],
+                "worker_attribution_ok": not counters["misrouted"],
+                "hot_cache_hit_fraction": (
+                    counters["hot_cache_hits"] / counters["hot_answered"]
+                    if counters["hot_answered"]
+                    else 0.0
+                ),
+                "restarts": supervisor.restarts_total if supervisor else 0,
+            }
+        finally:
+            await gateway.stop()
+
+    async def run_all() -> dict:
+        points = [await run_point(workers) for workers in worker_counts]
+        top = max(worker_counts)
+        skew = await run_skew(top) if top > 0 else None
+        return {"points": points, "skew": skew}
+
+    outcome = asyncio.run(run_all())
+    points = outcome["points"]
+    by_count = {point["planner_workers"]: point for point in points}
+    cpu_count = os.cpu_count() or 1
+    floor = scaling_floor_multicore if cpu_count >= 4 else scaling_floor_fallback
+    baseline = by_count.get(0) or points[0]
+    top_point = by_count[max(worker_counts)]
+    scaling = (
+        top_point["plans_per_sec"] / baseline["plans_per_sec"]
+        if baseline["plans_per_sec"] > 0
+        else float("inf")
+    )
+    skew = outcome["skew"]
+    summary = {
+        "benchmark": "gateway_worker_sweep",
+        "cpu_count": cpu_count,
+        "pipelines": [name for name, _ in pipelines],
+        "tenants": tenant_names,
+        "worker_counts": worker_counts,
+        "points": points,
+        "skew": skew,
+        "scaling": {
+            "baseline_plans_per_sec": baseline["plans_per_sec"],
+            "top_plans_per_sec": top_point["plans_per_sec"],
+            "top_workers": top_point["planner_workers"],
+            "scaling_x": scaling,
+            "scaling_floor": floor,
+            "floor_is_multicore": cpu_count >= 4,
+            "meets_scaling_floor": scaling >= floor,
+        },
+        "acceptance": {
+            "byte_identical_all_points": all(p["byte_identical"] for p in points),
+            "worker_attribution_ok": all(
+                p["worker_attribution_ok"] for p in points
+            )
+            and (skew is None or skew["worker_attribution_ok"]),
+            "warm_rounds_all_cache_hits": all(
+                p["warm_round_all_cache_hits"] for p in points
+            ),
+            "no_lost_requests": all(p["no_lost_requests"] for p in points)
+            and (skew is None or skew["no_lost_requests"]),
+            "skew_light_byte_identical": skew is None
+            or skew["light_byte_identical"],
+            "skew_hot_cache_hit_fraction": skew["hot_cache_hit_fraction"]
+            if skew is not None
+            else 1.0,
+            "restarts_total": sum(p["restarts"] for p in points)
+            + (skew["restarts"] if skew is not None else 0),
+            "meets_scaling_floor": scaling >= floor,
+        },
+    }
+    return summary
+
+
 def print_report(title: str, runs: Sequence[PipelineRun]) -> str:
     """Format a block of pipeline runs as the benches print them."""
     lines = [f"== {title} =="]

@@ -224,6 +224,22 @@ class GatewayConfig:
     max_batch: int = 128
     plan_workers: int = 8
     backlog: int = 2048
+    #: Number of planner worker *processes* behind the gateway.  ``0`` (the
+    #: default) keeps today's in-process path — planning on a thread pool
+    #: inside the gateway process, byte-identical behaviour.  ``N > 0``
+    #: shards workspaces across N spawned worker processes by consistent
+    #: hashing (see :mod:`repro.server.workers`), each owning its own plan
+    #: session pool and warm rewrite cache, supervised and respawned on
+    #: crash.
+    planner_workers: int = 0
+    #: How many times a request lost to a worker crash is replayed against
+    #: the respawned worker before it is failed back to the client (500).
+    worker_retry_budget: int = 2
+    #: Base of the supervisor's bounded exponential respawn backoff: the
+    #: k-th consecutive crash of one worker slot waits
+    #: ``worker_backoff_seconds * 2**(k-1)`` (capped internally) before
+    #: respawning.
+    worker_backoff_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         name = type(self).__name__
@@ -239,6 +255,13 @@ class GatewayConfig:
         _require_int(name, "max_batch", self.max_batch, 1)
         _require_int(name, "plan_workers", self.plan_workers, 1)
         _require_int(name, "backlog", self.backlog, 1)
+        _require_int(name, "planner_workers", self.planner_workers, 0)
+        _require_int(name, "worker_retry_budget", self.worker_retry_budget, 0)
+        object.__setattr__(
+            self,
+            "worker_backoff_seconds",
+            _require_float(name, "worker_backoff_seconds", self.worker_backoff_seconds, 0.0),
+        )
 
     def with_options(self, **changes: Any) -> "GatewayConfig":
         return replace(self, **changes)

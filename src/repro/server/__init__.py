@@ -16,6 +16,12 @@ single dependency:
 * :mod:`repro.server.gateway` — :class:`AnalyticsGateway`, the asyncio
   server: ``/v1/plan``, ``/v1/pipeline``, ``/metrics``, ``/healthz``,
   admission control with 429 backpressure, and graceful drain;
+* :mod:`repro.server.workers` — the multi-process planner tier:
+  :class:`HashRing` (consistent workspace → worker sharding),
+  :func:`planner_worker_main` (spawn-safe child loop) and
+  :class:`WorkerSupervisor` (health checks, bounded-backoff respawn,
+  in-flight replay, graceful pool drain), enabled with
+  ``GatewayConfig.planner_workers > 0``;
 * :mod:`repro.server.client` — :class:`GatewayClient`, the asyncio client
   the tests and the load harness drive.
 
@@ -35,6 +41,12 @@ from repro.server.protocol import (
     request_to_json,
     result_to_json,
 )
+from repro.server.workers import (
+    HashRing,
+    SupervisorClosed,
+    WorkerSupervisor,
+    planner_worker_main,
+)
 
 __all__ = [
     "AnalyticsGateway",
@@ -43,10 +55,14 @@ __all__ = [
     "Gauge",
     "GatewayClient",
     "GatewayError",
+    "HashRing",
     "Histogram",
     "MetricsRegistry",
     "MicroBatcher",
     "ProtocolError",
+    "SupervisorClosed",
+    "WorkerSupervisor",
+    "planner_worker_main",
     "expr_from_json",
     "expr_to_json",
     "parse_plan_request",

@@ -61,8 +61,10 @@ from repro.server.protocol import (
     json_response,
     parse_plan_request,
     read_http_request,
+    request_to_json,
     result_to_json,
 )
+from repro.server.workers import SupervisorClosed, WorkerSupervisor
 
 
 class _SingleWorkspaceResolver:
@@ -172,11 +174,19 @@ class AnalyticsGateway:
         backlog: int = 2048,
         config: Optional[GatewayConfig] = None,
         workspaces=None,
+        worker_factory=None,
     ):
         warn_legacy_entry_point("AnalyticsGateway", "repro.api.Engine.serve")
         if service is None and workspaces is None:
             raise ValueError(
                 "AnalyticsGateway needs a service or a workspace resolver"
+            )
+        if config is not None and config.planner_workers > 0 and worker_factory is None:
+            raise ConfigError(
+                "GatewayConfig.planner_workers > 0 needs a worker_factory: a "
+                "picklable zero-argument callable building the worker-side "
+                "engine (spawned worker processes cannot inherit this "
+                "process's services)"
             )
         if config is None:
             # The keyword path folds into the same validated config object,
@@ -219,6 +229,11 @@ class AnalyticsGateway:
         #: instead of through the registry lock on every request.
         self._workspace_instruments: Dict[str, dict] = {}
         self._server: Optional[asyncio.Server] = None
+        #: The multi-process planner tier (None on the in-process path).
+        #: Built lazily in :meth:`start` so constructing a gateway object
+        #: never spawns processes.
+        self._worker_factory = worker_factory
+        self._supervisor: Optional[WorkerSupervisor] = None
         self._draining = False
         self._in_flight = 0
         self._workspace_in_flight: Dict[str, int] = {}
@@ -502,6 +517,19 @@ class AnalyticsGateway:
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("gateway already started")
+        if self.config.planner_workers > 0 and self._supervisor is None:
+            supervisor = WorkerSupervisor(
+                self._worker_factory,
+                workers=self.config.planner_workers,
+                metrics=self.metrics,
+                retry_budget=self.config.worker_retry_budget,
+                backoff_seconds=self.config.worker_backoff_seconds,
+                workspaces=self.workspaces,
+            )
+            # start() blocks until every worker's ready handshake (each
+            # child builds a full engine) — run it off the event loop.
+            await asyncio.get_running_loop().run_in_executor(None, supervisor.start)
+            self._supervisor = supervisor
         self._server = await asyncio.start_server(
             self._serve_connection,
             host=self.host,
@@ -540,6 +568,12 @@ class AnalyticsGateway:
         # would wait on clients that never hang up.
         for writer in list(self._connection_writers):
             writer.close()
+        if self._supervisor is not None:
+            # Every admitted request has been answered (the idle wait
+            # above), so each worker's queue holds at most the shutdown
+            # sentinel: flush, join, reap.
+            supervisor, self._supervisor = self._supervisor, None
+            await asyncio.get_running_loop().run_in_executor(None, supervisor.stop)
         if self._server is not None:
             await self._server.wait_closed()
             self._server = None
@@ -637,6 +671,8 @@ class AnalyticsGateway:
         }
         if self.service is not None:
             document["pool"] = self.service.pool.stats_dict()
+        if self._supervisor is not None:
+            document["workers"] = self._supervisor.describe()
         return document
 
     def _handle_workspaces(self, path: str, keep_alive: bool) -> bytes:
@@ -723,10 +759,24 @@ class AnalyticsGateway:
         # bounds exactly like requests parked in a batcher.
         instruments = self._admit(workspace_name)
         try:
+            if self._supervisor is not None:
+                # Worker-pool tier: the request crosses to the workspace's
+                # sharded worker process as the same typed JSON body the
+                # HTTP wire uses, and the envelope rides back with the full
+                # response payload — plans byte-identical by construction.
+                body = request_to_json(service_request)
+                body["workspace"] = workspace_name
+                envelope = await self._supervisor.submit(workspace_name, body)
+                return self._worker_response(
+                    envelope, service_request, workspace_name, instruments, keep_alive
+                )
             handle = await self._resolve_handle(workspace_name)
             result = await self._batcher_for(workspace_name, handle).submit(
                 service_request
             )
+        except SupervisorClosed:
+            self._drain_rejected_total.inc()
+            return json_response(503, {"error": "gateway is draining"}, keep_alive=False)
         except UnknownWorkspaceError as exc:
             # Removed between the existence check and resolution.
             self._reap_workspace(workspace_name)
@@ -820,6 +870,72 @@ class AnalyticsGateway:
         if self._workspace_instruments.get(workspace_name) is instruments:
             instruments["total_seconds"].observe(result.total_seconds)
 
+    def _worker_response(
+        self,
+        envelope: dict,
+        service_request,
+        workspace_name: str,
+        instruments: dict,
+        keep_alive: bool,
+    ) -> bytes:
+        """Map a worker envelope to the same HTTP statuses the in-process
+        path produces (404/422/500/200), with identical metrics."""
+        if not envelope.get("ok"):
+            kind = envelope.get("kind")
+            error = envelope.get("error", "worker error")
+            if kind == "unknown_workspace":
+                # Removed between the existence check and worker dispatch.
+                self._reap_workspace(workspace_name)
+                return self._unknown_workspace_response(error, keep_alive)
+            if kind == "config":
+                self._responses_4xx.inc()
+                return json_response(
+                    422,
+                    {"error": error, "workspace": workspace_name},
+                    keep_alive=keep_alive,
+                )
+            self._responses_5xx.inc()
+            return json_response(500, {"error": error}, keep_alive=keep_alive)
+        payload = dict(envelope["payload"])
+        # Worker attribution rides on the response so clients (and the
+        # isolation benchmark) can verify shard stickiness end to end.
+        payload["worker"] = envelope.get("worker")
+        planner_failed = any(who == "planner" for who, _ in payload["failures"])
+        if planner_failed:
+            self._plan_failures_total.inc()
+            self._responses_4xx.inc()
+            return json_response(422, payload, keep_alive=keep_alive)
+        if (
+            service_request.execute
+            and payload.get("value") is None
+            and payload["failures"]
+        ):
+            self._responses_5xx.inc()
+            return json_response(500, payload, keep_alive=keep_alive)
+        self._observe_payload(envelope, payload, workspace_name, instruments)
+        self._responses_2xx.inc()
+        return json_response(200, payload, keep_alive=keep_alive)
+
+    def _observe_payload(
+        self, envelope: dict, payload: dict, workspace_name: str, instruments: dict
+    ) -> None:
+        """The worker-path mirror of :meth:`_observe_result`, reading the
+        wire payload instead of a live :class:`ServiceResult`."""
+        if payload.get("cache_hit"):
+            self._cache_hits_total.inc()
+        else:
+            pruned = envelope.get("pruned") or (0, 0)
+            self._chase_pruned_total.inc(pruned[0])
+            self._chase_pruned_tightening_total.inc(pruned[1])
+        timings = payload.get("timings") or {}
+        self._queue_seconds.observe(timings.get("queue_seconds", 0.0))
+        self._plan_seconds.observe(timings.get("plan_seconds", 0.0))
+        self._execute_seconds.observe(timings.get("execute_seconds", 0.0))
+        total = timings.get("total_seconds", 0.0)
+        self._total_seconds.observe(total)
+        if self._workspace_instruments.get(workspace_name) is instruments:
+            instruments["total_seconds"].observe(total)
+
     def _observe_batch(self, stats: BatchStats) -> None:
         # Arrives from the submit_many caller thread via the service batch
         # hook (the registry is thread-safe).  These are the *service-side*
@@ -847,7 +963,16 @@ class AnalyticsGateway:
         }
         if pools:
             summary["workspace_pools"] = pools
+        if self._supervisor is not None:
+            summary["workers"] = self._supervisor.describe()
+            summary["worker_assignments"] = self._supervisor.assignments()
         return summary
+
+    @property
+    def supervisor(self):
+        """The live :class:`~repro.server.workers.WorkerSupervisor`
+        (``None`` on the in-process path or before :meth:`start`)."""
+        return self._supervisor
 
 
 def run_gateway(gateway: AnalyticsGateway) -> None:

@@ -1,0 +1,386 @@
+"""Tests of the multi-process planner tier: ring, supervisor, chaos.
+
+Two tiers live in this file:
+
+* **Tier-1** (always run): the :class:`HashRing` consistent-hashing
+  contract — determinism across instances, bounded key movement when the
+  pool grows or shrinks, every workspace owned by exactly one live member
+  — plus configuration validation and spawn-safety (picklability) of the
+  worker engine factory.  Nothing here forks a process.
+* **Chaos** (``-m chaos``, run by the dedicated CI job): spawn a real
+  worker pool, SIGKILL a worker mid-plan, and assert the supervisor's
+  promises — respawn with the restart counter incremented, in-flight
+  requests replayed to the new generation with byte-identical answers (or
+  failed *cleanly* once the retry budget is spent), graceful drain leaving
+  no processes behind, and registry version bumps invalidating the owning
+  worker's warm runtime.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE
+from repro.benchkit.harness import TenantEngineFactory
+from repro.benchkit.pipelines import build_pipeline, default_roles
+from repro.config import ConfigError, GatewayConfig
+from repro.server import HashRing, SupervisorClosed, WorkerSupervisor
+from repro.server.protocol import request_to_json, result_to_json
+from repro.service import ServiceRequest
+
+# ---------------------------------------------------------------------------
+# HashRing: the sharding contract
+# ---------------------------------------------------------------------------
+
+KEYS = [f"tenant-{index:04d}" for index in range(2000)]
+
+
+class TestHashRing:
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            HashRing().route("anything")
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+    def test_routing_is_deterministic_across_instances(self):
+        # blake2b, not the per-process-seeded builtin hash(): two rings
+        # built in different orders agree on every key, which is what lets
+        # a restarted gateway land tenants back on their warm workers.
+        first = HashRing([0, 1, 2, 3])
+        second = HashRing([3, 1, 0, 2])
+        assert first.nodes() == second.nodes() == (0, 1, 2, 3)
+        assert [first.route(key) for key in KEYS] == [
+            second.route(key) for key in KEYS
+        ]
+
+    def test_every_key_maps_to_exactly_one_live_member(self):
+        ring = HashRing([0, 1, 2])
+        for key in KEYS:
+            assert ring.route(key) in ring.nodes()
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing([0, 1])
+        before = [ring.route(key) for key in KEYS[:100]]
+        ring.add(1)
+        ring.remove(7)
+        assert [ring.route(key) for key in KEYS[:100]] == before
+
+    def test_growing_the_pool_moves_at_most_a_bounded_fraction(self):
+        # Adding the 5th worker should move ≈ 1/5 of the keyspace — and
+        # *only* keys that now belong to the new worker.  The fraction is
+        # deterministic (blake2b), so the bound is tight, not flaky.
+        ring = HashRing(range(4))
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add(4)
+        moved = 0
+        for key in KEYS:
+            after = ring.route(key)
+            if after != before[key]:
+                assert after == 4, "a key moved to a pre-existing worker"
+                moved += 1
+        assert 0 < moved / len(KEYS) <= 0.35
+
+    def test_removing_a_worker_moves_only_its_keys(self):
+        ring = HashRing(range(4))
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove(2)
+        for key in KEYS:
+            after = ring.route(key)
+            if before[key] == 2:
+                assert after != 2
+            else:
+                assert after == before[key], "an unrelated key was resharded"
+
+    @given(
+        members=st.sets(st.integers(min_value=0, max_value=15), min_size=1),
+        newcomer=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rebalance_property(self, members, newcomer):
+        # During and after any add: every key maps to exactly one member
+        # of the current node set, and an add only pulls keys toward the
+        # newcomer.
+        ring = HashRing(sorted(members))
+        sample = KEYS[:256]
+        before = {key: ring.route(key) for key in sample}
+        assert all(owner in members for owner in before.values())
+        ring.add(newcomer)
+        for key in sample:
+            after = ring.route(key)
+            assert after in ring.nodes()
+            if after != before[key]:
+                assert newcomer not in members and after == newcomer
+
+
+# ---------------------------------------------------------------------------
+# Configuration and spawn-safety (no processes)
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerConfig:
+    def test_negative_pool_sizes_are_rejected(self):
+        with pytest.raises(ConfigError, match="planner_workers"):
+            GatewayConfig(planner_workers=-1)
+        with pytest.raises(ConfigError, match="worker_retry_budget"):
+            GatewayConfig(worker_retry_budget=-1)
+        with pytest.raises(ConfigError, match="worker_backoff_seconds"):
+            GatewayConfig(worker_backoff_seconds=-0.5)
+
+    def test_in_process_default_needs_no_factory(self):
+        assert GatewayConfig().planner_workers == 0
+
+    def test_gateway_with_workers_requires_a_factory(self, small_catalog):
+        from repro.api import Engine
+
+        engine = Engine(small_catalog)
+        with pytest.raises(ConfigError, match="worker_factory"):
+            engine.build_gateway(planner_workers=2)
+
+    def test_supervisor_requires_at_least_one_worker(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerSupervisor(lambda: None, workers=0)
+
+    def test_factory_crosses_the_spawn_boundary(self):
+        # spawn re-imports and unpickles; a closure would fail here.
+        factory = TenantEngineFactory(tenants=("a", "b"), scale=0.01)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+
+    def test_assignments_cover_every_workspace_exactly_once(self):
+        class Registry:
+            def workspace_names(self):
+                return tuple(f"t-{index}" for index in range(12))
+
+        supervisor = WorkerSupervisor(
+            lambda: None, workers=4, workspaces=Registry()
+        )
+        assignments = supervisor.assignments()
+        assert sorted(assignments) == sorted(Registry().workspace_names())
+        assert set(assignments.values()) <= set(range(4))
+        # Pure function of (name, pool size): resolving twice agrees.
+        assert assignments == supervisor.assignments()
+
+
+# ---------------------------------------------------------------------------
+# Chaos: real processes, real SIGKILL
+# ---------------------------------------------------------------------------
+
+CHAOS_TENANTS = tuple(f"tenant-{index:02d}" for index in range(6))
+CHAOS_FACTORY = TenantEngineFactory(tenants=CHAOS_TENANTS, scale=0.01)
+
+
+def _chase_bound_body(tenant: str) -> dict:
+    """A request whose planning time is dominated by the chase (~0.1-0.3s
+    cold), so a SIGKILL lands while work is genuinely in flight."""
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    body = request_to_json(
+        ServiceRequest(expression=build_pipeline("P2.17", roles), execute=False)
+    )
+    body["workspace"] = tenant
+    return body
+
+
+def _expected_plan() -> str:
+    engine = CHAOS_FACTORY()
+    handle = engine.workspace(CHAOS_TENANTS[0])
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    request = ServiceRequest(
+        expression=build_pipeline("P2.17", roles), execute=False
+    )
+    result = handle.service.submit_many([request], workers=1)[0]
+    return result_to_json(result)["plan"]
+
+
+@pytest.mark.chaos
+class TestSupervisorChaos:
+    def test_sigkill_mid_flight_respawns_and_replays(self):
+        supervisor = WorkerSupervisor(
+            CHAOS_FACTORY, workers=2, retry_budget=2, backoff_seconds=0.01
+        )
+        supervisor.start()
+        try:
+            victim = supervisor.route(CHAOS_TENANTS[0])
+            doomed_pid = supervisor.worker_pid(victim)
+
+            async def storm():
+                tasks = [
+                    asyncio.ensure_future(
+                        supervisor.submit(tenant, _chase_bound_body(tenant))
+                    )
+                    for tenant in CHAOS_TENANTS
+                ]
+                await asyncio.sleep(0.15)
+                os.kill(doomed_pid, signal.SIGKILL)
+                return await asyncio.gather(*tasks)
+
+            envelopes = asyncio.run(storm())
+            # Every request answered — the victim's in-flight work was
+            # replayed to the respawned generation, nothing lost or wrong.
+            assert all(envelope["ok"] for envelope in envelopes)
+            expected = _expected_plan()
+            assert all(
+                envelope["payload"]["plan"] == expected for envelope in envelopes
+            )
+            assert supervisor.restarts_total >= 1
+            counters = supervisor.metrics.as_dict()["counters"]
+            label = f'repro_worker_restarts_total{{worker="{victim}"}}'
+            assert counters[label] >= 1
+            # The respawned slot carries a fresh pid and still serves.
+            assert supervisor.worker_pid(victim) != doomed_pid
+        finally:
+            supervisor.stop()
+
+    def test_retry_budget_exhausted_fails_cleanly_then_recovers(self):
+        supervisor = WorkerSupervisor(
+            CHAOS_FACTORY, workers=1, retry_budget=0, backoff_seconds=0.01
+        )
+        supervisor.start()
+        try:
+            doomed_pid = supervisor.worker_pid(0)
+
+            async def storm():
+                tasks = [
+                    asyncio.ensure_future(
+                        supervisor.submit(tenant, _chase_bound_body(tenant))
+                    )
+                    for tenant in CHAOS_TENANTS[:3]
+                ]
+                await asyncio.sleep(0.05)
+                os.kill(doomed_pid, signal.SIGKILL)
+                crashed = await asyncio.gather(*tasks)
+                # The pool already respawned: the next request succeeds.
+                recovered = await supervisor.submit(
+                    CHAOS_TENANTS[0], _chase_bound_body(CHAOS_TENANTS[0])
+                )
+                return crashed, recovered
+
+            crashed, recovered = asyncio.run(storm())
+            assert all(not envelope["ok"] for envelope in crashed)
+            assert all(
+                envelope["kind"] == "worker_crashed" for envelope in crashed
+            )
+            assert recovered["ok"]
+            assert recovered["payload"]["plan"] == _expected_plan()
+        finally:
+            supervisor.stop()
+
+    def test_gateway_end_to_end_chaos(self):
+        from repro._compat import suppress_legacy_warnings
+        from repro.server import GatewayClient, parse_prometheus
+
+        engine = CHAOS_FACTORY()
+        roles = default_roles(ROLE_BINDINGS_DENSE)
+        expression = build_pipeline("P2.17", roles)
+
+        async def main():
+            with suppress_legacy_warnings():
+                gateway = engine.build_gateway(
+                    worker_factory=CHAOS_FACTORY,
+                    host="127.0.0.1",
+                    planner_workers=2,
+                    batch_window_seconds=0.0,
+                    worker_backoff_seconds=0.01,
+                )
+            await gateway.start()
+            try:
+                supervisor = gateway.supervisor
+                victim = supervisor.route(CHAOS_TENANTS[0])
+                doomed_pid = supervisor.worker_pid(victim)
+
+                async def one(tenant):
+                    async with GatewayClient("127.0.0.1", gateway.port) as client:
+                        return await client.submit(
+                            expression, workspace=tenant, raise_on_error=False
+                        )
+
+                tasks = [
+                    asyncio.ensure_future(one(tenant))
+                    for tenant in CHAOS_TENANTS
+                ]
+                await asyncio.sleep(0.15)
+                os.kill(doomed_pid, signal.SIGKILL)
+                payloads = await asyncio.gather(*tasks)
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    exposition = await client.metrics_text()
+                return payloads, exposition
+            finally:
+                await gateway.stop()
+
+        payloads, exposition = asyncio.run(main())
+        expected = _expected_plan()
+        # Default retry budget (2) absorbs a single crash: every tenant
+        # still gets the right plan from its own shard.
+        assert len(payloads) == len(CHAOS_TENANTS)
+        assert all(payload["plan"] == expected for payload in payloads)
+        restarts = sum(
+            value
+            for name, value in parse_prometheus(exposition).items()
+            if name.startswith("repro_worker_restarts_total")
+        )
+        assert restarts >= 1
+
+    def test_drain_leaves_no_processes_behind(self):
+        supervisor = WorkerSupervisor(CHAOS_FACTORY, workers=2)
+        supervisor.start()
+        pids = [supervisor.worker_pid(index) for index in range(2)]
+        assert all(pid is not None for pid in pids)
+        supervisor.stop()
+        deadline = time.monotonic() + 10.0
+        live = set(pids)
+        while live and time.monotonic() < deadline:
+            for pid in list(live):
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    live.discard(pid)
+            time.sleep(0.05)
+        assert not live, f"worker processes survived drain: {sorted(live)}"
+        with pytest.raises(SupervisorClosed):
+            asyncio.run(supervisor.submit(CHAOS_TENANTS[0], {}))
+
+    def test_registry_version_bump_invalidates_the_owning_worker(self):
+        parent = CHAOS_FACTORY()
+        supervisor = WorkerSupervisor(
+            CHAOS_FACTORY,
+            workers=1,
+            workspaces=parent,
+            health_interval_seconds=0.05,
+        )
+        supervisor.start()
+        try:
+            tenant = CHAOS_TENANTS[0]
+
+            async def warm_then_bump():
+                envelope = await supervisor.submit(
+                    tenant, _chase_bound_body(tenant)
+                )
+                assert envelope["ok"]
+                warm = await supervisor.introspect(0)
+                assert tenant in warm["warm_runtimes"]
+                # Parent-side version bump: the health thread notices and
+                # tells the owning worker to drop its stale runtime.
+                parent.workspaces.update(
+                    tenant, catalog=parent.workspaces.get(tenant).catalog
+                )
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    probe = await supervisor.introspect(0)
+                    if tenant not in probe["warm_runtimes"]:
+                        return probe
+                    await asyncio.sleep(0.05)
+                return probe
+
+            probe = asyncio.run(warm_then_bump())
+            assert tenant not in probe["warm_runtimes"]
+        finally:
+            supervisor.stop()

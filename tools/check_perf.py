@@ -32,6 +32,7 @@ result together with the change that moved it::
     PYTHONHASHSEED=0 python benchmarks/bench_service_throughput.py > service-throughput-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py > gateway-sweep-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py --workspaces > gateway-workspace-summary.json
+    PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py --planner-workers > gateway-worker-summary.json
     python tools/check_perf.py --update *.json
 
 ``--update`` rewrites ``benchmarks/baselines/*.json`` from the given
@@ -159,6 +160,34 @@ TRACKED: Dict[str, List[Metric]] = {
         # Per-tenant planning is deduped within each workspace: never more
         # plans than tenants × distinct pipelines.
         Metric("acceptance.plans_computed_total", "ratio", direction="lower"),
+    ],
+    "gateway_worker_sweep": [
+        # The multi-process worker tier may only move *where* planning
+        # runs: every answer byte-identical to the in-process path at
+        # every worker count, and every answer produced by exactly the
+        # worker the consistent-hash ring assigns that tenant (checked
+        # again under the 2-hot-tenant skewed load).
+        Metric("acceptance.byte_identical_all_points", "flag"),
+        Metric("acceptance.worker_attribution_ok", "flag"),
+        # Shard stickiness is load-bearing: a warm second round must be
+        # all cache hits — a request landing on the wrong worker would
+        # surface as a cold plan.
+        Metric("acceptance.warm_rounds_all_cache_hits", "flag"),
+        Metric("acceptance.no_lost_requests", "flag"),
+        Metric("acceptance.skew_light_byte_identical", "flag"),
+        Metric("acceptance.skew_hot_cache_hit_fraction", "threshold", minimum=0.7),
+        # The scaling floor is computed CPU-aware inside the benchmark
+        # (>= 2.5x at 4 workers on >= 4 cores — i.e. CI runners; a
+        # collapse-detection floor on smaller boxes where process-level
+        # scaling physically cannot appear): the flag must hold wherever
+        # the sweep ran.
+        Metric("scaling.meets_scaling_floor", "flag"),
+        # Absolute chase-bound throughput floor, machine-variant like the
+        # other wall-clock floors (a 1-core dev box sustains ~3 plans/s
+        # on this workload).
+        Metric("scaling.top_plans_per_sec", "threshold", minimum=1.0),
+        # A healthy sweep never consumes a respawn.
+        Metric("acceptance.restarts_total", "ratio", direction="lower"),
     ],
 }
 
