@@ -125,13 +125,15 @@ class MorpheusBackend(NumpyBackend):
         #: them untouched and costs nothing.  Manually registered matrices
         #: are caller-owned and never refreshed.
         self._auto_registered: Dict[str, Tuple] = {}
-        #: Serializes auto-registration: the service layer drives one shared
-        #: backend instance from many executor threads.
-        self._factors_lock = threading.Lock()
+        #: Serializes registration: the service layer drives one shared
+        #: backend instance from many executor threads.  Reentrant because
+        #: :meth:`register_catalog_factors` registers while holding it.
+        self._factors_lock = threading.RLock()
 
     def register(self, normalized: NormalizedMatrix) -> NormalizedMatrix:
         """Declare a catalog matrix name as being stored in factorized form."""
-        self._normalized[normalized.name] = normalized
+        with self._factors_lock:
+            self._normalized[normalized.name] = normalized
         return normalized
 
     def normalized(self, name: str) -> Optional[NormalizedMatrix]:

@@ -143,6 +143,19 @@ class ConstraintProgram:
     def __len__(self) -> int:
         return len(self.constraints)
 
+    def verify(self, name: str = "program"):
+        """Static verification findings for this program.
+
+        Runs the full :mod:`repro.analysis.verifier` battery — safety,
+        trigger completeness, commutativity soundness, weak acyclicity —
+        and returns the list of :class:`repro.analysis.findings.Finding`.
+        Imported lazily so the chase layer carries no analysis dependency
+        unless verification is actually requested.
+        """
+        from repro.analysis.verifier import verify_program
+
+        return verify_program(self, name)
+
     def extended(self, extra: Sequence[Constraint]) -> "ConstraintProgram":
         """A new program with ``extra`` constraints appended (e.g. view rules)."""
         if not extra:

@@ -139,6 +139,16 @@ class PlannerConfig:
     #: at resolution (this module stays import-neutral), so a mistyped name
     #: still fails at session/engine construction with the valid choices.
     estimator: str = "naive"
+    #: Static verification of the compiled constraint program
+    #: (:mod:`repro.analysis.verifier`) at session construction and on
+    #: ``set_views``.  ``"off"`` (the default) skips it; ``"warn"`` emits a
+    #: :class:`UserWarning` listing error-severity findings; ``"strict"``
+    #: raises :class:`~repro.exceptions.ConstraintVerificationError` on them.
+    #: Warning-tier findings (e.g. the deliberately non-weakly-acyclic LA
+    #: theory) never block a session — use the CLI's ``--strict`` mode and
+    #: the waiver file to audit those.  Verification never mutates the
+    #: program, so plans are identical across all three modes.
+    verify_constraints: str = "off"
 
     def __post_init__(self) -> None:
         name = type(self).__name__
@@ -161,6 +171,12 @@ class PlannerConfig:
         _require_int(name, "cache_size", self.cache_size, 1)
         _require_int(name, "chase_workers", self.chase_workers, 1)
         _require_str(name, "estimator", self.estimator)
+        _require_str(name, "verify_constraints", self.verify_constraints)
+        if self.verify_constraints not in ("off", "warn", "strict"):
+            raise ConfigError(
+                f"{name}.verify_constraints must be one of 'off', 'warn', "
+                f"'strict', got {self.verify_constraints!r}"
+            )
         object.__setattr__(
             self,
             "normalized_matrices",

@@ -118,3 +118,22 @@ def constraints_for_views(
     for view in views:
         constraints.extend(view_constraints(view, catalog, include_voi))
     return constraints
+
+
+def verification_view_constraints() -> List[Constraint]:
+    """Hook for ``python -m repro.analysis constraints``: a representative
+    view-derived constraint set to verify alongside the shipped programs.
+
+    Materialized-view constraints are generated, not shipped, so the static
+    pass cannot enumerate them from source; this hook builds the benchkit
+    V_exp views (the paper's Table 15 view set) over the dense role bindings
+    and returns their V_IO/V_OI encodings.  Imports lazily to keep
+    ``repro.constraints`` free of a benchkit dependency.
+    """
+    from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+    from repro.benchkit.pipelines import default_roles
+    from repro.benchkit.views_vexp import build_vexp_views
+
+    catalog = benchmark_catalog()
+    views = build_vexp_views(default_roles(ROLE_BINDINGS_DENSE))
+    return constraints_for_views(views, catalog)

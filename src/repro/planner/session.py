@@ -73,6 +73,7 @@ class PlanSession:
         use_constraint_index: bool = True,
         tighten_thresholds: bool = True,
         chase_workers: int = 1,
+        verify_constraints: str = "off",
         stages: Optional[Sequence[Stage]] = None,
         config: Optional[PlannerConfig] = None,
     ):
@@ -98,6 +99,7 @@ class PlanSession:
                 use_constraint_index=use_constraint_index,
                 tighten_thresholds=tighten_thresholds,
                 chase_workers=chase_workers,
+                verify_constraints=verify_constraints,
             )
         options = config.session_kwargs()
         include_decompositions = options["include_decompositions"]
@@ -115,6 +117,9 @@ class PlanSession:
         use_constraint_index = options["use_constraint_index"]
         tighten_thresholds = options["tighten_thresholds"]
         chase_workers = options["chase_workers"]
+        #: Static-verification mode ("off" | "warn" | "strict"); consulted
+        #: again whenever ``set_views`` recompiles the program.
+        self.verify_constraints = options["verify_constraints"]
 
         self.catalog = catalog
         self.views = list(views)
@@ -149,6 +154,7 @@ class PlanSession:
         self.program = ConstraintProgram(
             self.base_constraints + self.view_constraints, validate=False
         )
+        self._verify_program()
         self.max_rounds = max_rounds
         self.max_atoms = max_atoms
         self.max_classes = max_classes
@@ -181,6 +187,43 @@ class PlanSession:
         )
 
     # ------------------------------------------------------------------ setup
+    def _verify_program(self) -> None:
+        """Statically verify the compiled program per ``verify_constraints``.
+
+        Only **error-severity** findings (unsafe EGDs, malformed atoms,
+        broken trigger metadata, never-matching commutative premises) act
+        here: ``"warn"`` surfaces them as a :class:`UserWarning`,
+        ``"strict"`` raises
+        :class:`~repro.exceptions.ConstraintVerificationError`.  The
+        warning-tier findings the shipped theory triggers by design (weak
+        acyclicity of the bidirectional LA rules) are an audit concern for
+        the ``python -m repro.analysis`` CLI, not a construction gate —
+        which is also what keeps plans byte-identical across all modes:
+        verification reads the program, never rewrites it.
+        """
+        mode = self.verify_constraints
+        if mode == "off":
+            return
+        from repro.analysis.findings import ERROR
+
+        errors = [f for f in self.program.verify("session") if f.severity == ERROR]
+        if not errors:
+            return
+        rendered = "; ".join(f.render() for f in errors)
+        if mode == "strict":
+            from repro.exceptions import ConstraintVerificationError
+
+            raise ConstraintVerificationError(
+                f"constraint program failed static verification: {rendered}"
+            )
+        import warnings
+
+        warnings.warn(
+            f"constraint program has static-verification errors: {rendered}",
+            UserWarning,
+            stacklevel=3,
+        )
+
     def _register_view_metadata(self) -> None:
         """Make every view's stored result costable.
 
@@ -242,6 +285,7 @@ class PlanSession:
         self.program = ConstraintProgram(
             self.base_constraints + self.view_constraints, validate=False
         )
+        self._verify_program()
         self.engine = SaturationEngine(
             self.program,
             max_rounds=self.max_rounds,
@@ -322,6 +366,7 @@ class PlanSession:
             tighten_thresholds=self.tighten_thresholds,
             chase_workers=self.engine.chase_workers,
             estimator=self.estimator_name,
+            verify_constraints=self.verify_constraints,
         )
 
     @property
