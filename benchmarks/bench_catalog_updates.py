@@ -1,0 +1,222 @@
+"""Steady catalog-update stream over a warm multi-tenant plan cache.
+
+The selective-revalidation claim: a single-relation catalog delta (a
+re-stat after an append, say) should evict only the plans whose recorded
+footprint intersects the touched relation, keep every other plan warm
+under the new catalog version, and leave untouched tenants alone.  The
+alternative — what the server did before ``Engine.apply_delta`` — is full
+invalidation: every tenant plan goes cold on every update.
+
+The bench drives both modes over the same update stream:
+
+* **selective** — ``Engine.apply_delta`` with a round-robin stream of
+  single-relation :class:`~repro.catalog.delta.ReStat` deltas, alternating
+  between two tenants; after each delta every pipeline is re-requested on
+  the updated tenant and the untouched tenant.
+* **full-invalidation** — the identical stream, but the workspace cache is
+  wiped after every delta (the PR-8 baseline behaviour).
+
+Gates (tracked in ``tools/check_perf.py``):
+
+* cache hit rate on the updated tenant >= 70% under the single-relation
+  stream (the issue's acceptance floor; the partitioned footprints of the
+  sample pipelines put the expected value at 5/6);
+* **byte identity** — every plan served after a delta, warm or replanned,
+  equals a cold re-plan against a shadow catalog fast-forwarded through
+  the same deltas;
+* P50 post-delta serve latency at least 2x better than full invalidation
+  (measured margin is orders of magnitude — warm serves are cache reads).
+
+Run under pytest for the assertions, or directly
+(``python benchmarks/bench_catalog_updates.py``) to emit the JSON summary
+used by the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Dict, List, Tuple
+
+from repro.api.engine import Engine
+from repro.api.workspace import WorkspaceRegistry
+from repro.benchkit.datasets import ROLE_BINDINGS_DENSE, benchmark_catalog
+from repro.benchkit.pipelines import build_pipeline, default_roles
+from repro.catalog.delta import CatalogDelta, ReStat
+from repro.planner import PlanSession
+
+SAMPLE = ["P1.1", "P1.4", "P1.13", "P1.15", "P2.10", "P2.25"]
+TENANTS = ["tenant-a", "tenant-b"]
+
+#: One full cycle of single-relation updates.  Each name sits in exactly one
+#: sample pipeline's footprint (P1.4 reads AL1/Syn3/Syn7, P2.25 reads
+#: AL3/Syn8/Syn9), so every delta should evict one plan and keep five warm.
+UPDATE_STREAM = ["Syn7", "AL3", "Syn3", "Syn9", "AL1", "Syn8"]
+
+
+def _expressions():
+    roles = default_roles(ROLE_BINDINGS_DENSE)
+    return [build_pipeline(name, roles) for name in SAMPLE]
+
+
+def _signature(result) -> Tuple[str, str, float, Tuple[str, ...]]:
+    return (
+        result.best.to_string(),
+        result.best.fingerprint(),
+        float(result.best_cost),
+        tuple(sorted(result.used_views)),
+    )
+
+
+def _restat_delta(catalog, name: str, round_index: int) -> CatalogDelta:
+    # Nudge nnz deterministically so every delta is a real statistics change,
+    # clamped into the relation's [0, rows*cols] envelope.
+    meta = catalog.meta(name)
+    nnz = (1000 + 17 * round_index) % (meta.rows * meta.cols + 1)
+    return CatalogDelta((ReStat(name=name, nnz=nnz),))
+
+
+def _build_engine(scale: float) -> Engine:
+    registry = WorkspaceRegistry()
+    for tenant in TENANTS:
+        registry.register(tenant, catalog=benchmark_catalog(scale=scale))
+    return Engine(workspaces=registry)
+
+
+def _run_stream(scale: float, rounds: int, full_invalidation: bool) -> dict:
+    """Drive one update stream; returns per-mode measurements."""
+    engine = _build_engine(scale)
+    expressions = _expressions()
+    # Shadow catalogs: the byte-identity referee.  Fast-forwarded through
+    # the same deltas, planned cold, never cached.
+    shadows = {tenant: benchmark_catalog(scale=scale) for tenant in TENANTS}
+
+    for tenant in TENANTS:  # warm every tenant
+        handle = engine.workspace(tenant)
+        for expr in expressions:
+            handle.rewrite(expr)
+
+    hits = 0
+    serves = 0
+    cross_tenant_hits = 0
+    cross_tenant_serves = 0
+    latencies: List[float] = []
+    mismatches: List[str] = []
+    kept_warm = 0
+    revalidated = 0
+
+    for round_index in range(rounds):
+        tenant = TENANTS[round_index % len(TENANTS)]
+        other = TENANTS[(round_index + 1) % len(TENANTS)]
+        relation = UPDATE_STREAM[round_index % len(UPDATE_STREAM)]
+        delta = _restat_delta(shadows[tenant], relation, round_index)
+
+        report = engine.apply_delta(tenant, delta)
+        kept_warm += report.plans_kept_warm
+        revalidated += report.plans_revalidated
+        if full_invalidation:
+            engine.invalidate_workspace(tenant)
+        shadows[tenant].apply_delta(delta)
+
+        handle = engine.workspace(tenant)
+        results = []
+        for expr in expressions:
+            start = time.perf_counter()
+            result = handle.rewrite(expr)
+            latencies.append(time.perf_counter() - start)
+            results.append(result)
+            serves += 1
+            hits += 1 if result.cache_hit else 0
+
+        referee = PlanSession(shadows[tenant], enable_cache=False)
+        for name, expr, result in zip(SAMPLE, expressions, results):
+            cold = referee.rewrite(expr)
+            if _signature(result) != _signature(cold):
+                served = "warm" if result.cache_hit else "replanned"
+                mismatches.append(
+                    f"round {round_index} {tenant} {name} ({served}): "
+                    f"{_signature(result)!r} != cold {_signature(cold)!r}"
+                )
+
+        # The untouched tenant must stay fully warm in selective mode.
+        other_handle = engine.workspace(other)
+        for expr in expressions:
+            cross_tenant_serves += 1
+            cross_tenant_hits += 1 if other_handle.rewrite(expr).cache_hit else 0
+
+    return {
+        "hit_rate": hits / serves if serves else 0.0,
+        "p50_serve_seconds": statistics.median(latencies),
+        "serves": serves,
+        "cache_hits": hits,
+        "cross_tenant_hit_rate": (
+            cross_tenant_hits / cross_tenant_serves if cross_tenant_serves else 0.0
+        ),
+        "plans_kept_warm": kept_warm,
+        "plans_revalidated": revalidated,
+        "mismatches": mismatches,
+    }
+
+
+def measure(scale: float = 0.01, rounds: int = len(UPDATE_STREAM)) -> dict:
+    selective = _run_stream(scale, rounds, full_invalidation=False)
+    baseline = _run_stream(scale, rounds, full_invalidation=True)
+    mismatches = selective.pop("mismatches") + baseline.pop("mismatches")
+    speedup = (
+        baseline["p50_serve_seconds"] / selective["p50_serve_seconds"]
+        if selective["p50_serve_seconds"] > 0
+        else float("inf")
+    )
+    return {
+        "benchmark": "catalog_updates",
+        "scale": scale,
+        "tenants": TENANTS,
+        "pipelines": SAMPLE,
+        "rounds": rounds,
+        "update_stream": UPDATE_STREAM,
+        "selective": selective,
+        "full_invalidation": baseline,
+        "acceptance": {
+            "hit_rate": selective["hit_rate"],
+            "byte_identical": not mismatches,
+            "mismatches": mismatches[:5],
+            "untouched_tenant_stays_warm": selective["cross_tenant_hit_rate"] >= 1.0,
+            "p50_speedup": speedup,
+            "plans_kept_warm": selective["plans_kept_warm"],
+            "plans_revalidated": selective["plans_revalidated"],
+        },
+    }
+
+
+def test_single_relation_update_keeps_unrelated_plans_warm():
+    """Acceptance: one ReStat evicts only the footprint-intersecting plan."""
+    engine = _build_engine(scale=0.01)
+    expressions = _expressions()
+    handle = engine.workspace(TENANTS[0])
+    for expr in expressions:
+        handle.rewrite(expr)
+
+    shadow = benchmark_catalog(scale=0.01)
+    delta = _restat_delta(shadow, "Syn7", 0)
+    report = engine.apply_delta(TENANTS[0], delta)
+    assert report.plans_revalidated == 1  # only P1.4 reads Syn7
+    assert report.plans_kept_warm == len(SAMPLE) - 1
+
+    shadow.apply_delta(delta)
+    referee = PlanSession(shadow, enable_cache=False)
+    for name, expr in zip(SAMPLE, expressions):
+        result = handle.rewrite(expr)
+        assert result.cache_hit == (name != "P1.4")
+        assert _signature(result) == _signature(referee.rewrite(expr))
+
+    # The other tenant never saw the delta: fully warm.
+    other = engine.workspace(TENANTS[1])
+    for expr in expressions:
+        other.rewrite(expr)
+    engine.apply_delta(TENANTS[0], _restat_delta(shadow, "AL3", 1))
+    assert all(other.rewrite(expr).cache_hit for expr in expressions)
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

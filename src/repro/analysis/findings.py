@@ -122,6 +122,16 @@ RULES: Dict[str, Tuple[str, str, str]] = {
         "existential nulls can reach a positional cycle: the oblivious "
         "chase may still diverge (heuristic tier).",
     ),
+    "RPA010": (
+        "trigger-outside-recordable-set",
+        ERROR,
+        "A compiled constraint triggers on a relation outside the declared "
+        "VREM schema — the footprint-recordable set.  Plan footprints "
+        "(repro.catalog.footprint) reason over schema relations anchored in "
+        "`name`/`scalar_name` facts; a trigger outside that set could fire "
+        "on facts a footprint cannot record, so selective delta "
+        "revalidation could keep a plan the constraint would have changed.",
+    ),
     # ------------------------------------------------------------- linter
     "RPA101": (
         "unguarded-shared-mutation",

@@ -589,6 +589,34 @@ def _check_triggers(program: str, compiled) -> List[Finding]:
     return findings
 
 
+def _check_footprint_recordable(program: str, compiled) -> List[Finding]:
+    """RPA010: trigger relations must lie inside the VREM schema.
+
+    Plan footprints record catalog dependencies through schema relations
+    anchored in ``name``/``scalar_name`` facts; selective revalidation
+    (:meth:`repro.service.pool.PlanSessionPool.apply_delta`) is sound only
+    if every fact that can re-trigger a constraint lives in that
+    recordable set.  A compiled constraint triggering on a relation the
+    schema does not declare could fire on facts no footprint ever sees.
+    """
+    findings: List[Finding] = []
+    recordable = set(VREM_SCHEMA)
+    for entry in compiled:
+        target = f"{program}:{entry.constraint.name}"
+        outside = sorted(set(entry.trigger_relations) - recordable)
+        if outside:
+            findings.append(Finding(
+                code="RPA010", target=target,
+                message=(
+                    f"trigger relation(s) {outside} are outside the "
+                    f"footprint-recordable VREM schema; a catalog delta "
+                    f"could affect this constraint without intersecting "
+                    f"any plan footprint"
+                ),
+            ))
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
@@ -612,6 +640,7 @@ def verify_program(program_obj, name: str = "program") -> List[Finding]:
     """
     findings = verify_constraints(program_obj.constraints, name)
     findings.extend(_check_triggers(name, program_obj.compiled))
+    findings.extend(_check_footprint_recordable(name, program_obj.compiled))
     return findings
 
 

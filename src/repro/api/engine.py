@@ -229,6 +229,14 @@ class WorkspaceHandle:
         """Rewrite a batch, planning each distinct fingerprint exactly once."""
         return [self._runtime.pool.plan(expr) for expr in expressions]
 
+    # ------------------------------------------------------------------ deltas
+    def apply_delta(self, delta):
+        """Apply a catalog delta to this workspace (see
+        :meth:`Engine.apply_delta`); plans whose footprint the delta does
+        not touch stay warm.  Returns the
+        :class:`~repro.catalog.delta.RevalidationReport`."""
+        return self._runtime.engine.apply_delta(self.name, delta)
+
     # ------------------------------------------------------------------ service path
     def submit(self, item: RequestLike) -> ServiceResult:
         """Plan (and execute, unless the request opts out) one request."""
@@ -580,6 +588,63 @@ class Engine:
         return self._default_handle("Engine.execute").execute(
             plan, backend=backend, use_rewritten=use_rewritten
         )
+
+    # ------------------------------------------------------------------ deltas
+    def apply_delta(self, name: Optional[str], delta) -> "RevalidationReport":
+        """Apply a catalog delta to a workspace, revalidating selectively.
+
+        The registry installs the new snapshot (catalog mutated in place,
+        views re-derived, version bumped, transition journaled); if the
+        workspace has a warm runtime, it is *kept* — the engine swaps the
+        snapshot in and asks the runtime's pool to revalidate its shared
+        plan cache against the delta's footprint instead of rebuilding pool,
+        sessions and cached plans from scratch (contrast
+        :meth:`WorkspaceRegistry.update`, which discards the runtime on next
+        access).  Returns the pool's
+        :class:`~repro.catalog.delta.RevalidationReport`; a workspace with
+        no warm runtime reports zero kept / zero revalidated.
+        """
+        from repro.catalog.delta import RevalidationReport
+
+        if name is None:
+            name = self.workspaces.default_name
+        snapshot = self.workspaces.apply_delta(name, delta)
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(name)
+            if runtime is not None:
+                # Adopt the new snapshot in place: identity is what
+                # :meth:`workspace` checks, so handle resolution keeps
+                # hitting this runtime instead of rebuilding it.
+                runtime.workspace = snapshot
+        if runtime is None:
+            return RevalidationReport(
+                workspace=snapshot.runtime_key,
+                touched=tuple(sorted(delta.touched_names())),
+                selective=delta.selective,
+            )
+        if delta.touches_views:
+            # The lazily built service captured the old view list for its
+            # hybrid path; drop it so the next use rebuilds against the new
+            # snapshot (the router only holds the catalog, shared in place).
+            with runtime._lock:
+                runtime._service = None
+        # Outside _runtimes_lock: revalidation may recompile a prototype
+        # session (view-touching deltas), and one tenant's delta must not
+        # stall another tenant's handle resolution.  Requests racing this
+        # window simply miss (the catalog version already moved) and replan.
+        return runtime.pool.apply_delta(delta, workspace=snapshot.runtime_key)
+
+    def delta_chain(self, name: str, from_version: int, to_version: int):
+        """Journaled wire-format deltas bridging two bundle versions.
+
+        ``None`` when the journal cannot bridge the gap (fall back to a
+        full rebuild); otherwise a list of JSON delta documents, oldest
+        first — the supervisor forwards exactly these to the owning worker.
+        """
+        chain = self.workspaces.delta_chain(name, from_version, to_version)
+        if chain is None:
+            return None
+        return [delta.to_json() for delta in chain]
 
     # ------------------------------------------------------------------ serving
     def invalidate_workspace(self, name: str) -> None:

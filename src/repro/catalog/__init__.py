@@ -1,0 +1,49 @@
+"""Incremental catalog deltas and plan-footprint revalidation.
+
+Production catalogs churn constantly — usually one relation or view at a
+time — but until this subsystem existed, *any* catalog change bumped the
+workspace version and abandoned every cached plan for that tenant.
+Following the query-answering-under-updates line (Berkholz et al., PAPERS.md),
+this package treats catalog mutations as first-class **deltas** and
+revalidates only the plans whose dependency **footprint** intersects the
+delta, keeping the rest of the warm cache:
+
+* :mod:`repro.catalog.delta` — the typed :class:`CatalogDelta` algebra
+  (add/drop/re-stat a relation, add/drop a view, update structural
+  constraints) with composition, a JSON wire schema, and the
+  ``Catalog.apply_delta`` application path;
+* :mod:`repro.catalog.footprint` — the :class:`PlanFootprint` recorded
+  during planning: the catalog names, view names and constraints the chase
+  and extraction actually consulted, attached to every fresh
+  :class:`~repro.core.result.RewriteResult`;
+* the :class:`~repro.service.pool.PlanSessionPool` revalidation index keys
+  off both: on :meth:`~repro.api.workspace.WorkspaceRegistry.apply_delta`
+  it evicts footprint-intersecting entries and re-keys everything else
+  under the new version, warm.
+"""
+
+from repro.catalog.delta import (
+    AddRelation,
+    AddView,
+    CatalogDelta,
+    DeltaOp,
+    DropRelation,
+    DropView,
+    ReStat,
+    RevalidationReport,
+    UpdateConstraint,
+)
+from repro.catalog.footprint import PlanFootprint
+
+__all__ = [
+    "AddRelation",
+    "AddView",
+    "CatalogDelta",
+    "DeltaOp",
+    "DropRelation",
+    "DropView",
+    "PlanFootprint",
+    "ReStat",
+    "RevalidationReport",
+    "UpdateConstraint",
+]

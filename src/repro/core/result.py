@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.chase.saturation import SaturationResult
 from repro.lang import matrix_expr as mx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.footprint import PlanFootprint
 
 
 @dataclass
@@ -41,6 +44,12 @@ class RewriteResult:
         (timings then refer to the original planning run).
     fingerprint:
         Structural fingerprint of ``original`` (the cache key component).
+    footprint:
+        The catalog names / views / constraints this plan actually
+        consulted (:class:`repro.catalog.footprint.PlanFootprint`), used
+        for selective revalidation under catalog deltas.  ``None`` for
+        results predating footprint capture; such plans are always
+        evicted on any delta.
     """
 
     original: mx.Expr
@@ -55,6 +64,7 @@ class RewriteResult:
     stage_timings: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
     fingerprint: Optional[str] = None
+    footprint: Optional["PlanFootprint"] = None
 
     def copy(self, **overrides) -> "RewriteResult":
         """A copy whose mutable containers are private to the caller.

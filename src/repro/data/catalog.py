@@ -132,6 +132,52 @@ class Catalog:
         if dropped is not None or dropped_meta is not None:
             self._version += 1
 
+    def update_metadata(
+        self,
+        name: str,
+        rows: Optional[int] = None,
+        cols: Optional[int] = None,
+        nnz: Optional[int] = None,
+        matrix_type: Optional[str] = None,
+    ) -> MatrixMeta:
+        """Update the statistics / type tag of a registered matrix in place.
+
+        Metadata-only entries accept any field; value-backed matrices only
+        accept ``nnz`` and ``matrix_type`` — their dimensions are fixed by
+        the stored values.  Bumps the catalog version.
+        """
+        import dataclasses
+
+        if name in self._metadata_only:
+            prior = self._metadata_only[name]
+            updated = MatrixMeta(
+                name=name,
+                rows=prior.rows if rows is None else int(rows),
+                cols=prior.cols if cols is None else int(cols),
+                nnz=prior.nnz if nnz is None else int(nnz),
+                matrix_type=prior.matrix_type if matrix_type is None else matrix_type,
+                sparse_storage=prior.sparse_storage,
+            )
+            self._metadata_only[name] = updated
+        elif name in self._matrices:
+            if rows is not None or cols is not None:
+                raise CatalogError(
+                    f"matrix {name!r} is value-backed; its dimensions are fixed "
+                    f"by the stored values (re-register the matrix instead)"
+                )
+            data = self._matrices[name]
+            changes = {}
+            if nnz is not None:
+                changes["nnz"] = int(nnz)
+            if matrix_type is not None:
+                changes["matrix_type"] = matrix_type
+            updated = dataclasses.replace(data.meta, **changes)
+            self._matrices[name] = MatrixData(values=data.values, meta=updated)
+        else:
+            raise UnknownMatrixError(f"matrix {name!r} is not registered")
+        self._version += 1
+        return updated
+
     # -- scalars ----------------------------------------------------------------
     def register_scalar(self, name: str, value: float, overwrite: bool = False) -> float:
         if not overwrite and name in self._scalars:
@@ -148,6 +194,10 @@ class Catalog:
 
     def has_scalar(self, name: str) -> bool:
         return name in self._scalars
+
+    def drop_scalar(self, name: str) -> None:
+        if self._scalars.pop(name, None) is not None:
+            self._version += 1
 
     # -- tables -----------------------------------------------------------------
     def register_table(self, table: Table, overwrite: bool = False) -> Table:
@@ -168,6 +218,21 @@ class Catalog:
 
     def table_names(self) -> Iterable[str]:
         return sorted(self._tables)
+
+    # -- deltas -------------------------------------------------------------------
+    def apply_delta(self, delta) -> None:
+        """Apply a :class:`repro.catalog.delta.CatalogDelta`'s relation ops.
+
+        View ops are workspace-level (the catalog stores no view
+        definitions) and are rejected here; apply those through
+        :meth:`repro.api.workspace.WorkspaceRegistry.apply_delta`.
+        """
+        if delta.touches_views:
+            raise CatalogError(
+                "this delta contains view ops; apply it through a workspace "
+                "registry, which owns the view set"
+            )
+        delta.apply(self, ())
 
     # -- misc ---------------------------------------------------------------------
     def types(self) -> Dict[str, str]:

@@ -20,6 +20,14 @@ infrastructure, not user API.  See ``docs/testing.md``.
 """
 
 from repro.fuzz.corpus import CorpusCase, load_cases, save_case
+from repro.fuzz.deltas import (
+    DeltaCase,
+    DeltaSequenceGenerator,
+    check_delta_case,
+    load_delta_cases,
+    run_delta_fuzz,
+    save_delta_case,
+)
 from repro.fuzz.generator import (
     CatalogInventory,
     CatalogSpec,
@@ -41,6 +49,8 @@ __all__ = [
     "CatalogInventory",
     "CatalogSpec",
     "CorpusCase",
+    "DeltaCase",
+    "DeltaSequenceGenerator",
     "DifferentialOracle",
     "ExpressionGenerator",
     "FuzzConfig",
@@ -48,11 +58,15 @@ __all__ = [
     "NnzObservation",
     "OracleReport",
     "Violation",
+    "check_delta_case",
     "expr_size",
     "generate_catalog",
     "load_cases",
+    "load_delta_cases",
+    "run_delta_fuzz",
     "run_fuzz",
     "save_case",
+    "save_delta_case",
     "shrink",
     "spawn_rng",
     "tolerance_for",

@@ -26,7 +26,7 @@ pool-level shared result cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, Iterator, List, Optional, Tuple
 
 from repro.core.result import RewriteResult
 
@@ -54,12 +54,24 @@ class RewriteCache:
         self.hits += 1
         return entry
 
-    def put(self, key: CacheKey, result: RewriteResult) -> None:
+    def put(self, key: CacheKey, result: RewriteResult) -> List[CacheKey]:
+        """Store ``result``; returns the keys LRU-evicted to make room."""
         self._entries[key] = result
         self._entries.move_to_end(key)
+        evicted: List[CacheKey] = []
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            dropped, _ = self._entries.popitem(last=False)
+            evicted.append(dropped)
             self.evictions += 1
+        return evicted
+
+    def pop(self, key: CacheKey) -> Optional[RewriteResult]:
+        """Remove and return the entry under ``key`` (None when absent)."""
+        return self._entries.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[CacheKey, RewriteResult]]:
+        """Snapshot of the live entries, LRU-oldest first."""
+        return iter(list(self._entries.items()))
 
     def clear(self) -> None:
         self._entries.clear()

@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.catalog.footprint import PlanFootprint
 from repro.chase.program import ConstraintProgram
 from repro.chase.saturation import SaturationEngine
 from repro.config import PlannerConfig
@@ -490,6 +491,13 @@ class PlanSession:
             stage_start = time.perf_counter()
             stage.run(ctx)
             ctx.timings[stage.name] = time.perf_counter() - stage_start
+        footprint = None
+        if ctx.instance is not None:
+            footprint = PlanFootprint.from_instance(
+                ctx.instance,
+                ctx.saturation,
+                (view.name for view in self.views),
+            )
         return RewriteResult(
             original=expr,
             best=ctx.best_expr,
@@ -503,6 +511,7 @@ class PlanSession:
             stage_timings=dict(ctx.timings),
             cache_hit=False,
             fingerprint=expr.fingerprint(),
+            footprint=footprint,
         )
 
     # ------------------------------------------------------------------ cloning

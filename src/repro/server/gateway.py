@@ -48,8 +48,9 @@ import weakref
 from typing import Dict, Optional, Set, Tuple
 
 from repro._compat import DEFAULT_WORKSPACE, warn_legacy_entry_point
+from repro.catalog.delta import CatalogDelta
 from repro.config import GatewayConfig
-from repro.exceptions import ConfigError, UnknownWorkspaceError
+from repro.exceptions import CatalogError, ConfigError, UnknownWorkspaceError
 from repro.service.service import AnalyticsService, BatchStats
 
 from repro.server.batcher import BatcherClosed, MicroBatcher
@@ -315,6 +316,18 @@ class AnalyticsGateway:
         self._service_cache_hits_total = self.metrics.counter(
             "service_cache_hits_total",
             "Batch requests served from a cached or deduped plan",
+        )
+        self._catalog_deltas_total = self.metrics.counter(
+            "repro_catalog_deltas_total",
+            "Catalog deltas applied through the gateway",
+        )
+        self._plans_revalidated_total = self.metrics.counter(
+            "repro_plans_revalidated_total",
+            "Cached plans evicted by delta revalidation (footprint hit)",
+        )
+        self._plans_kept_warm_total = self.metrics.counter(
+            "repro_plans_kept_warm_total",
+            "Cached plans kept warm across a delta (footprint miss)",
         )
         if service is not None:
             self._hook_service(service)
@@ -642,6 +655,15 @@ class AnalyticsGateway:
                 keep_alive=keep_alive,
             )
         if request.path == "/v1/workspaces" or request.path.startswith("/v1/workspaces/"):
+            parts = [
+                part
+                for part in request.path[len("/v1/workspaces"):].split("/")
+                if part
+            ]
+            if len(parts) == 2 and parts[1] == "delta":
+                if request.method != "POST":
+                    return self._method_not_allowed(keep_alive)
+                return await self._handle_delta(request, parts[0])
             if request.method != "GET":
                 return self._method_not_allowed(keep_alive)
             return self._handle_workspaces(request.path, keep_alive)
@@ -699,6 +721,67 @@ class AnalyticsGateway:
         if self.workspace_max_in_flight:
             description["max_in_flight"] = self.workspace_max_in_flight
         return json_response(200, description, keep_alive=keep_alive)
+
+    async def _handle_delta(self, request: HttpRequest, name: str) -> bytes:
+        """``POST /v1/workspaces/<name>/delta`` — apply a typed catalog delta.
+
+        The body is the :meth:`repro.catalog.delta.CatalogDelta.to_json`
+        wire document.  The delta is applied through the engine's
+        revalidating path on an executor thread (it may recompile a
+        prototype session), and the response is the
+        :class:`~repro.catalog.delta.RevalidationReport`.  Workers owned by
+        a supervisor catch up through the registry's delta journal on the
+        next health sync — the wire document they receive is exactly this
+        one.
+        """
+        keep_alive = request.keep_alive
+        if self._draining:
+            self._drain_rejected_total.inc()
+            return json_response(
+                503, {"error": "gateway is draining"}, keep_alive=False
+            )
+        apply = getattr(self.workspaces, "apply_delta", None)
+        if apply is None:
+            # The legacy single-service resolver has no registry to mutate.
+            return self._method_not_allowed(keep_alive)
+        try:
+            delta = CatalogDelta.from_json(request.json())
+        except (ProtocolError, ConfigError) as exc:
+            self._protocol_errors_total.inc()
+            return json_response(400, {"error": str(exc)}, keep_alive=keep_alive)
+        if not self._workspace_exists(name):
+            self._reap_workspace(name)
+            return self._unknown_workspace_response(
+                f"unknown workspace {name!r}", keep_alive
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            # Off the event loop: revalidation holds the pool lock and may
+            # rebuild a prototype session for view-touching deltas.
+            report = await loop.run_in_executor(None, apply, name, delta)
+        except UnknownWorkspaceError as exc:
+            self._reap_workspace(name)
+            return self._unknown_workspace_response(exc, keep_alive)
+        except (CatalogError, ConfigError) as exc:
+            # A delta inconsistent with the live catalog (duplicate adds,
+            # unknown names, dimension changes on value-backed matrices) is
+            # the client's condition to resolve.
+            self._responses_4xx.inc()
+            return json_response(
+                422, {"error": str(exc), "workspace": name}, keep_alive=keep_alive
+            )
+        except Exception as exc:
+            self._responses_5xx.inc()
+            return json_response(
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+            )
+        self._catalog_deltas_total.inc()
+        self._plans_revalidated_total.inc(report.plans_revalidated)
+        self._plans_kept_warm_total.inc(report.plans_kept_warm)
+        self._responses_2xx.inc()
+        return json_response(200, report.as_dict(), keep_alive=keep_alive)
 
     async def _handle_submit(self, request: HttpRequest, execute_default: bool) -> bytes:
         keep_alive = request.keep_alive

@@ -219,6 +219,32 @@ def _introspect(resolver: Any, worker_id: int, served: int) -> dict:
     }
 
 
+def _apply_worker_delta(resolver: Any, name: str, payloads: List[dict]) -> None:
+    """Replay a chain of wire-format catalog deltas on the worker engine.
+
+    The selective path: the worker's catalog converges to the parent's by
+    applying the same delta documents, and the worker engine's
+    ``apply_delta`` revalidates its warm pool instead of dropping it.  Any
+    failure — an engine without the delta surface, a chain inconsistent
+    with this worker's state (e.g. a respawned worker rebuilt from the
+    factory's original bundle) — falls back to the blunt per-workspace
+    invalidation, which is always safe.
+    """
+    apply = getattr(resolver, "apply_delta", None)
+    if apply is not None:
+        try:
+            from repro.catalog.delta import CatalogDelta
+
+            for payload in payloads:
+                apply(name, CatalogDelta.from_json(payload))
+            return
+        except Exception:  # noqa: BLE001 — fall back to full invalidation
+            pass
+    invalidate = getattr(resolver, "invalidate_workspace", None)
+    if invalidate is not None:
+        invalidate(name)
+
+
 def planner_worker_main(
     worker_id: int,
     factory: Callable[[], Any],
@@ -229,7 +255,8 @@ def planner_worker_main(
 
     Spawn-safe: runs fresh in a spawned interpreter, so ``factory`` must be
     importable/picklable.  Messages in: ``("req", id, body)``,
-    ``("introspect", id)``, ``("invalidate", name)``, or the ``None``
+    ``("introspect", id)``, ``("invalidate", name)``,
+    ``("apply_delta", name, [delta_json, ...])``, or the ``None``
     shutdown sentinel.  Messages out: ``("ready", worker_id, pid)`` once,
     then ``("res", id, envelope)`` per request.
     """
@@ -268,6 +295,9 @@ def planner_worker_main(
                 invalidate = getattr(resolver, "invalidate_workspace", None)
                 if invalidate is not None:
                     invalidate(item[1])
+            elif kind == "apply_delta":
+                _, delta_name, payloads = item
+                _apply_worker_delta(resolver, delta_name, payloads)
         except (OSError, BrokenPipeError):
             break
     try:
@@ -784,12 +814,18 @@ class WorkerSupervisor:
                         pass
 
     def _sync_workspaces_locked(self) -> None:
-        """React to registry deltas: invalidate moved/updated workspaces.
+        """React to registry changes: forward deltas, invalidate otherwise.
 
         The ring itself only changes with the worker count; a registry
-        delta changes *which bundle* a name means, so the owning worker is
-        told to drop its runtime and rebuild from its factory on the next
-        request — per-workspace invalidation, never a pool restart.
+        change alters *which bundle* a name means.  When the registry's
+        delta journal can bridge the version gap (the change came through
+        ``apply_delta``), the owning worker receives the wire-format delta
+        chain and revalidates its warm runtime selectively — plans whose
+        footprint the deltas never touch keep serving without a replan.
+        Only when no chain exists (a wholesale ``update``/``register``, a
+        follower too far behind, or no journal at all) does the worker fall
+        back to dropping the runtime and rebuilding from its factory on the
+        next request — per-workspace invalidation, never a pool restart.
         """
         try:
             current = self._registry_versions()
@@ -798,13 +834,24 @@ class WorkerSupervisor:
         previous = self._known_versions
         if current == previous:
             return
-        changed = [
-            name
-            for name, version in current.items()
-            if previous.get(name) != version
-        ]
-        removed = [name for name in previous if name not in current]
-        for name in itertools.chain(changed, removed):
+        chain_for = getattr(self._workspaces, "delta_chain", None)
+        for name, version in current.items():
+            prior = previous.get(name)
+            if prior == version:
+                continue
             worker_id = self._ring.route(name)
-            self._slots[worker_id].outbox.put(("invalidate", name))
+            chain = None
+            if chain_for is not None and prior is not None:
+                try:
+                    chain = chain_for(name, prior, version)
+                except Exception:  # journal mid-mutation; fall back
+                    chain = None
+            if chain:
+                self._slots[worker_id].outbox.put(("apply_delta", name, chain))
+            else:
+                self._slots[worker_id].outbox.put(("invalidate", name))
+        for name in previous:
+            if name not in current:
+                worker_id = self._ring.route(name)
+                self._slots[worker_id].outbox.put(("invalidate", name))
         self._known_versions = current

@@ -41,12 +41,16 @@ import time
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.result import RewriteResult
 from repro.lang import matrix_expr as mx
 from repro.planner.cache import CacheKey, RewriteCache
 from repro.planner.session import PlanSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.delta import CatalogDelta, RevalidationReport
+    from repro.catalog.footprint import PlanFootprint
 
 SessionFactory = Callable[[], PlanSession]
 
@@ -60,6 +64,8 @@ class PoolStats:
     plans_computed: int = 0
     shared_hits: int = 0
     single_flight_waits: int = 0
+    plans_revalidated: int = 0
+    plans_kept_warm: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of the counters."""
@@ -69,7 +75,71 @@ class PoolStats:
             "plans_computed": self.plans_computed,
             "shared_hits": self.shared_hits,
             "single_flight_waits": self.single_flight_waits,
+            "plans_revalidated": self.plans_revalidated,
+            "plans_kept_warm": self.plans_kept_warm,
         }
+
+
+class RevalidationIndex:
+    """Inverted index: catalog name → shared-cache keys depending on it.
+
+    Maintained at publish time from each result's
+    :class:`~repro.catalog.footprint.PlanFootprint`, it lets
+    :meth:`PlanSessionPool.apply_delta` identify the entries a delta can
+    affect in time proportional to the delta's touched-name set, not the
+    cache size.  Entries published without a footprint (results predating
+    capture) land in a wildcard bucket and are doomed by *any* delta —
+    correctness never depends on capture being present.
+    """
+
+    def __init__(self):
+        self._by_name: Dict[str, Set[CacheKey]] = {}
+        self._wildcard: Set[CacheKey] = set()
+        self._names_by_key: Dict[CacheKey, Tuple[str, ...]] = {}
+
+    def record(self, key: CacheKey, footprint: Optional["PlanFootprint"]) -> None:
+        self.forget(key)
+        if footprint is None:
+            self._wildcard.add(key)
+            self._names_by_key[key] = ()
+            return
+        names = tuple(footprint.relations)
+        self._names_by_key[key] = names
+        for name in names:
+            self._by_name.setdefault(name, set()).add(key)
+
+    def forget(self, key: CacheKey) -> None:
+        names = self._names_by_key.pop(key, None)
+        if names is None:
+            return
+        if not names:
+            self._wildcard.discard(key)
+            return
+        for name in names:
+            bucket = self._by_name.get(name)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_name[name]
+
+    def forget_many(self, keys: Iterable[CacheKey]) -> None:
+        for key in keys:
+            self.forget(key)
+
+    def candidates(self, touched: Iterable[str]) -> Set[CacheKey]:
+        """Keys whose plan a delta touching ``touched`` names might affect."""
+        doomed = set(self._wildcard)
+        for name in touched:
+            doomed.update(self._by_name.get(name, ()))
+        return doomed
+
+    def clear(self) -> None:
+        self._by_name.clear()
+        self._wildcard.clear()
+        self._names_by_key.clear()
+
+    def __len__(self) -> int:
+        return len(self._names_by_key)
 
 
 class PlanSessionPool:
@@ -114,23 +184,29 @@ class PlanSessionPool:
         #: (the LRU order); ``_idle_version`` is the catalog version the
         #: whole generation is valid for.
         self._idle: List[PlanSession] = []
-        self._idle_version: Optional[int] = None
-        #: Catalog version each live session was built against.  A session
-        #: checked out across a catalog change must not be re-tagged as
+        self._idle_version: Optional[Tuple[int, int]] = None
+        #: Generation each live session was built against — the pair
+        #: *(catalog version, view generation)*.  A session checked out
+        #: across a catalog or view-set change must not be re-tagged as
         #: fresh on release — its view metadata and constraint program may
         #: predate the change — so eviction decisions use this tag, not the
-        #: version current at release time.
-        self._built_under: "weakref.WeakKeyDictionary[PlanSession, int]" = (
+        #: generation current at release time.
+        self._built_under: "weakref.WeakKeyDictionary[PlanSession, Tuple[int, int]]" = (
             weakref.WeakKeyDictionary()
         )
+        #: Bumped whenever a delta swaps the view set: the catalog version
+        #: alone cannot see a pure view change (dropping a view leaves the
+        #: catalog untouched), so idle-session staleness keys on the pair.
+        self._view_generation = 0
         self._inflight: Dict[CacheKey, threading.Event] = {}
         self.results = RewriteCache(result_cache_size)
+        self.revalidation = RevalidationIndex()
         self.stats = PoolStats()
         #: Built eagerly: computes cache keys for :meth:`plan` without a
         #: checkout (key computation only reads session configuration).
         self._prototype = self._factory()
         self.stats.sessions_created += 1
-        self._built_under[self._prototype] = self._catalog_version()
+        self._built_under[self._prototype] = self._generation()
         self.release(self._prototype)
 
     # ------------------------------------------------------------------ versioning
@@ -138,11 +214,14 @@ class PlanSessionPool:
         catalog = self._prototype.catalog
         return catalog.version if catalog is not None else -1
 
-    def _evict_stale_locked(self, current_version: int) -> None:
-        if self._idle_version != current_version:
+    def _generation(self) -> Tuple[int, int]:
+        return (self._catalog_version(), self._view_generation)
+
+    def _evict_stale_locked(self, current: Tuple[int, int]) -> None:
+        if self._idle_version != current:
             self.stats.sessions_evicted += len(self._idle)
             self._idle.clear()
-            self._idle_version = current_version
+            self._idle_version = current
 
     # ------------------------------------------------------------------ checkout
     def acquire(self) -> PlanSession:
@@ -152,7 +231,7 @@ class PlanSessionPool:
         on the way; the returned session always matches the current catalog.
         """
         with self._lock:
-            self._evict_stale_locked(self._catalog_version())
+            self._evict_stale_locked(self._generation())
             if self._idle:
                 return self._idle.pop()
         session, tag = self._build_session()
@@ -174,9 +253,9 @@ class PlanSessionPool:
         it after one use instead of pooling possibly-stale state.
         """
         for _ in range(3):
-            before = self._catalog_version()
+            before = self._generation()
             session = self._factory()
-            after = self._catalog_version()
+            after = self._generation()
             if after == before:
                 return session, after
         return session, before
@@ -190,7 +269,7 @@ class PlanSessionPool:
         catalog change.
         """
         with self._lock:
-            version = self._catalog_version()
+            version = self._generation()
             self._evict_stale_locked(version)
             if self._built_under.get(session, version) != version:
                 self.stats.sessions_evicted += 1
@@ -283,11 +362,18 @@ class PlanSessionPool:
                 with self.checkout() as session:
                     result = session.rewrite(expr)
                 with self._lock:
-                    # Publish under the key recomputed *after* planning: if
-                    # the catalog changed mid-plan, the result reflects the
-                    # new generation and must not be served to probes of
-                    # the old one (they will miss and replan instead).
-                    self.results.put(self._shared_key(expr), result.copy())
+                    # Publish only when the key is unchanged since the probe:
+                    # if the catalog (or view set, or workspace identity)
+                    # moved mid-plan, this result was planned against the old
+                    # state and must not be published under the new key — a
+                    # delta that already revalidated the cache would otherwise
+                    # be bypassed by a stale leader.  The caller still gets
+                    # its result; the next probe simply replans.
+                    if self._shared_key(expr) == key:
+                        published = result.copy()
+                        stale = self.results.put(key, published)
+                        self.revalidation.record(key, published.footprint)
+                        self.revalidation.forget_many(stale)
                     self.stats.plans_computed += 1
                 return result
             finally:
@@ -299,6 +385,81 @@ class PlanSessionPool:
         """Drop every shared plan (catalog changes do this implicitly)."""
         with self._lock:
             self.results.clear()
+            self.revalidation.clear()
+
+    # ------------------------------------------------------------------ deltas
+    def apply_delta(
+        self, delta: "CatalogDelta", workspace: Optional[str] = None
+    ) -> "RevalidationReport":
+        """Selectively revalidate the warm cache after a catalog delta.
+
+        Call *after* the delta has been applied to the catalog (and the new
+        workspace snapshot installed, for pools serving a multi-tenant
+        engine — pass its new ``runtime_key`` as ``workspace``).  Entries
+        whose footprint intersects the delta's touched names — plus every
+        entry without a footprint, and everything when the delta is
+        non-selective — are evicted; all other plans are re-keyed under the
+        new *(workspace, view-set, catalog-version)* coordinates and stay
+        warm.  A view-touching delta additionally rebuilds the prototype
+        (the old compiled constraint program no longer matches) and retires
+        the idle session generation.
+
+        Soundness of keeping a plan rests on the footprint argument (see
+        :mod:`repro.catalog.footprint`): a mutation touching none of the
+        names a plan consulted cannot change what the chase derives or any
+        cost the extractor reads, so the cached bytes equal a cold re-plan.
+        """
+        from repro.catalog.delta import RevalidationReport
+
+        touched = delta.touched_names()
+        selective = delta.selective
+        with self._lock:
+            if workspace is not None:
+                self.workspace = str(workspace)
+            if delta.touches_views:
+                # The compiled view constraints changed shape: retire every
+                # pooled session and rebuild the key-computing prototype
+                # against the new view set (the factory reads the updated
+                # workspace snapshot).
+                self._view_generation += 1
+                self.stats.sessions_evicted += len(self._idle)
+                self._idle.clear()
+                self._prototype = self._factory()
+                self.stats.sessions_created += 1
+                self._built_under[self._prototype] = self._generation()
+            current = self._generation()
+            self._evict_stale_locked(current)
+            doomed = None if not selective else self.revalidation.candidates(touched)
+            survivors = []
+            revalidated = 0
+            for key, result in self.results.items():
+                if doomed is None or key in doomed:
+                    revalidated += 1
+                else:
+                    survivors.append((key, result))
+            # Every surviving key carries the old view-set/catalog-version
+            # components; rebuild the cache under the new coordinates.
+            self.results.clear()
+            self.revalidation.clear()
+            new_viewset = self._prototype._compute_viewset_key()
+            new_version = self._catalog_version()
+            new_options = self._prototype.options_key()
+            kept = 0
+            for key, result in survivors:
+                new_key = (self.workspace, key[1], new_viewset, new_version, new_options)
+                self.results.put(new_key, result)
+                self.revalidation.record(new_key, result.footprint)
+                kept += 1
+            self.stats.plans_revalidated += revalidated
+            self.stats.plans_kept_warm += kept
+            workspace_name = self.workspace
+        return RevalidationReport(
+            workspace=workspace_name,
+            touched=tuple(sorted(touched)),
+            selective=selective,
+            plans_kept_warm=kept,
+            plans_revalidated=revalidated,
+        )
 
     def stats_dict(self) -> dict:
         """JSON-ready snapshot: pool counters plus shared-cache stats."""
@@ -306,9 +467,10 @@ class PlanSessionPool:
             summary = self.stats.as_dict()
             summary["idle_sessions"] = len(self._idle)
             summary["result_cache"] = self.results.stats()
+            summary["revalidation_index"] = len(self.revalidation)
             if self.workspace:
                 summary["workspace"] = self.workspace
         return summary
 
 
-__all__ = ["PlanSessionPool", "PoolStats", "SessionFactory"]
+__all__ = ["PlanSessionPool", "PoolStats", "RevalidationIndex", "SessionFactory"]

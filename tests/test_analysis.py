@@ -203,6 +203,29 @@ class TestConstraintRules:
         assert "RPA008" not in codes(findings)
         assert any(f.code == "RPA009" and f.target == "t:feed" for f in findings)
 
+    def test_rpa010_trigger_outside_recordable_set(self):
+        # Selective delta revalidation is sound only while every compiled
+        # trigger relation is part of the VREM schema the plan footprints
+        # record; a rogue trigger relation must be an ERROR finding.
+        constraint = tgd("ok", "tr(M, T) & name(M, n) -> name(T, n)")
+        program = ConstraintProgram([constraint])
+        entry = program.compiled[0]
+        tampered_entry = dataclasses.replace(
+            entry, trigger_relations=tuple(entry.trigger_relations) + ("rogue_rel",)
+        )
+        tampered = types.SimpleNamespace(
+            constraints=program.constraints, compiled=[tampered_entry]
+        )
+        findings = verify_program(tampered, "t")
+        hits = [f for f in findings if f.code == "RPA010"]
+        assert hits and hits[0].severity == ERROR
+        assert "rogue_rel" in hits[0].message
+
+    def test_rpa010_schema_triggers_are_clean(self):
+        constraint = tgd("ok", "tr(M, T) & name(M, n) -> name(T, n)")
+        program = ConstraintProgram([constraint])
+        assert "RPA010" not in codes(verify_program(program, "t"))
+
 
 # ---------------------------------------------------------------------------
 # Linter rules

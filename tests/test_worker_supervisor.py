@@ -384,3 +384,61 @@ class TestSupervisorChaos:
             assert tenant not in probe["warm_runtimes"]
         finally:
             supervisor.stop()
+
+    def test_catalog_delta_keeps_owning_worker_warm(self):
+        """A registry change that came through ``apply_delta`` is forwarded
+        as the wire-format delta chain, not a blunt invalidate: the owning
+        worker's runtime stays warm and an untouched plan keeps serving
+        from its cache."""
+        from repro.catalog.delta import CatalogDelta, ReStat
+
+        parent = CHAOS_FACTORY()
+        supervisor = WorkerSupervisor(
+            CHAOS_FACTORY,
+            workers=1,
+            workspaces=parent,
+            health_interval_seconds=0.05,
+        )
+        supervisor.start()
+        try:
+            tenant = CHAOS_TENANTS[0]
+            roles = default_roles(ROLE_BINDINGS_DENSE)
+            expression = build_pipeline("P2.17", roles)
+            footprint = parent.workspace(tenant).rewrite(expression).footprint
+            catalog = parent.workspaces.get(tenant).catalog
+            untouched = sorted(
+                set(ROLE_BINDINGS_DENSE.values()) - footprint.relations
+            )[0]
+            meta = catalog.meta(untouched)
+            delta = CatalogDelta(
+                (ReStat(name=untouched, nnz=min(5, meta.rows * meta.cols)),)
+            )
+
+            async def drive():
+                envelope = await supervisor.submit(
+                    tenant, _chase_bound_body(tenant)
+                )
+                assert envelope["ok"]
+
+                report = parent.apply_delta(tenant, delta)
+                assert report.plans_kept_warm >= 1
+                target = parent.workspaces.get(tenant).version
+                deadline = time.monotonic() + 5.0
+                while (
+                    supervisor._known_versions.get(tenant) != target
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                assert supervisor._known_versions.get(tenant) == target
+
+                probe = await supervisor.introspect(0)
+                follow_up = await supervisor.submit(
+                    tenant, _chase_bound_body(tenant)
+                )
+                return probe, follow_up
+
+            probe, follow_up = asyncio.run(drive())
+            assert tenant in probe["warm_runtimes"]
+            assert follow_up["ok"] and follow_up["payload"]["cache_hit"]
+        finally:
+            supervisor.stop()

@@ -33,6 +33,7 @@ result together with the change that moved it::
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py > gateway-sweep-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py --workspaces > gateway-workspace-summary.json
     PYTHONHASHSEED=0 python benchmarks/bench_gateway_sweep.py --planner-workers > gateway-worker-summary.json
+    PYTHONHASHSEED=0 python benchmarks/bench_catalog_updates.py > catalog-updates-summary.json
     python tools/check_perf.py --update *.json
 
 ``--update`` rewrites ``benchmarks/baselines/*.json`` from the given
@@ -160,6 +161,29 @@ TRACKED: Dict[str, List[Metric]] = {
         # Per-tenant planning is deduped within each workspace: never more
         # plans than tenants × distinct pipelines.
         Metric("acceptance.plans_computed_total", "ratio", direction="lower"),
+    ],
+    "catalog_updates": [
+        # Selective revalidation under a steady single-relation update
+        # stream over a warm two-tenant cache.  The issue's acceptance
+        # floor: >= 70% of post-delta serves on the updated tenant come
+        # from the warm cache (the sample pipelines' partitioned
+        # footprints put the expected value at 5/6).
+        Metric("acceptance.hit_rate", "threshold", minimum=0.7),
+        # The correctness gate: every plan served after a delta — kept
+        # warm, re-keyed or replanned — byte-identical to a cold re-plan
+        # against a shadow catalog fast-forwarded through the same deltas.
+        Metric("acceptance.byte_identical", "flag"),
+        # A delta to tenant A may not cool tenant B.
+        Metric("acceptance.untouched_tenant_stays_warm", "flag"),
+        # Post-delta P50 serve latency vs the full-invalidation baseline.
+        # Warm serves are cache reads, so the measured margin is ~100x;
+        # the floor catches "revalidation silently evicts everything"
+        # without flapping on timer noise.
+        Metric("acceptance.p50_speedup", "threshold", minimum=2.0),
+        # Deterministic revalidation counters: the stream keeps exactly
+        # the non-intersecting plans warm.
+        Metric("acceptance.plans_kept_warm", "ratio", direction="higher"),
+        Metric("acceptance.plans_revalidated", "ratio", direction="lower"),
     ],
     "gateway_worker_sweep": [
         # The multi-process worker tier may only move *where* planning
